@@ -1,0 +1,94 @@
+package bgploop
+
+import (
+	"bgploop/internal/bgp"
+	"bgploop/internal/core"
+	"bgploop/internal/experiment"
+	"bgploop/internal/figures"
+	"bgploop/internal/report"
+	"bgploop/internal/topology"
+)
+
+// Re-exported types forming the public API surface. The implementation
+// lives in internal packages; these aliases are the supported entry
+// points.
+type (
+	// Scenario fully describes one simulation run (topology, failure
+	// event, protocol configuration, workload, seed).
+	Scenario = experiment.Scenario
+	// Report is the outcome of a run: convergence time, looping
+	// duration, TTL exhaustions, looping ratio, exact loop intervals,
+	// and control-plane counters.
+	Report = core.Report
+	// Config is the BGP speaker configuration (MRAI, jitter, processing
+	// delays, enhancements).
+	Config = bgp.Config
+	// Enhancements selects the convergence enhancements of §5.
+	Enhancements = bgp.Enhancements
+	// Graph is an AS-level topology.
+	Graph = topology.Graph
+	// Node identifies an AS.
+	Node = topology.Node
+	// Table is a rendered result table (text/CSV).
+	Table = report.Table
+	// Scale sets figure sweep resolution.
+	Scale = figures.Scale
+)
+
+// Event kinds of the paper's two failure workloads.
+const (
+	TDown = experiment.TDown
+	TLong = experiment.TLong
+)
+
+// DefaultConfig returns the paper's standard-BGP configuration: MRAI 30 s
+// with jitter factor U[0.75, 1], processing delay U[0.1 s, 0.5 s], and the
+// shortest-path / lowest-next-hop policy.
+func DefaultConfig() Config { return bgp.DefaultConfig() }
+
+// Run executes a scenario and returns the enriched report.
+func Run(s Scenario) (*Report, error) { return core.Run(s) }
+
+// CliqueTDown builds the paper's Clique T_down scenario (Figure 3a):
+// destination AS 0 of an n-clique becomes unreachable.
+func CliqueTDown(n int, cfg Config, seed int64) Scenario {
+	return experiment.CliqueTDown(n, cfg, seed)
+}
+
+// BCliqueTLong builds the paper's B-Clique T_long scenario (Figure 3b):
+// the [0, n] shortcut of a size-n B-Clique fails.
+func BCliqueTLong(n int, cfg Config, seed int64) Scenario {
+	return experiment.BCliqueTLong(n, cfg, seed)
+}
+
+// Figure1TLong builds the paper's Figure 1 scenario: the 7-node example
+// topology whose [4 0] link failure creates the canonical transient
+// 2-node loop between ASes 5 and 6.
+func Figure1TLong(cfg Config, seed int64) Scenario {
+	return experiment.TLongScenario(topology.Figure1(), 0, topology.Figure1FailedLink(), cfg, seed)
+}
+
+// InternetLike generates a seeded Internet-like AS topology of n nodes,
+// the stand-in for the paper's Internet-derived topologies (see DESIGN.md
+// for the substitution rationale).
+func InternetLike(n int, seed int64) (*Graph, error) {
+	return topology.InternetLike(n, seed)
+}
+
+// CompareEnhancements runs a scenario under the five §5 protocol variants
+// and tabulates the metrics side by side.
+func CompareEnhancements(base Scenario) (*Table, error) {
+	variants, names := core.DefaultVariants()
+	return core.CompareEnhancements(base, variants, names)
+}
+
+// FigureIDs lists the regenerable figures ("4a" ... "9d").
+func FigureIDs() []string { return figures.IDs() }
+
+// RunFigure regenerates one of the paper's figures at the given scale.
+func RunFigure(id string, sc Scale) (*Table, error) { return figures.Run(id, sc) }
+
+// FullScale returns the paper-fidelity sweep ranges; QuickScale a
+// seconds-fast smoke-test grid.
+func FullScale() Scale  { return figures.FullScale() }
+func QuickScale() Scale { return figures.QuickScale() }

@@ -1,0 +1,105 @@
+// Command bgpfig regenerates the paper's evaluation figures (4a-9d) as
+// text tables or CSV.
+//
+// Examples:
+//
+//	bgpfig -fig 4a                 # one figure at paper scale
+//	bgpfig -fig all                # every figure
+//	bgpfig -fig 8a,8b -quick       # reduced grid, seconds per figure
+//	bgpfig -fig 5a -csv -out fig5a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bgploop/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bgpfig", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "", "figure ID (4a..9d), comma-separated list, or 'all'")
+		quick = fs.Bool("quick", false, "use the reduced smoke-test grid instead of paper scale")
+		csv   = fs.Bool("csv", false, "emit CSV")
+		out   = fs.String("out", "", "write to file instead of stdout")
+		seed  = fs.Int64("seed", 0, "override the base seed (0 keeps the default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fig == "" {
+		return fmt.Errorf("missing -fig; known: %s, extensions: %s, or 'all'/'ext'",
+			strings.Join(figures.IDs(), ", "), strings.Join(figures.ExtensionIDs(), ", "))
+	}
+
+	var ids []string
+	switch *fig {
+	case "all":
+		ids = figures.IDs()
+	case "ext":
+		ids = figures.ExtensionIDs()
+	default:
+		for _, id := range strings.Split(*fig, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	sc := figures.FullScale()
+	if *quick {
+		sc = figures.QuickScale()
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bgpfig: close:", cerr)
+			}
+		}()
+		w = f
+	}
+
+	for i, id := range ids {
+		start := time.Now()
+		tbl, err := figures.Run(id, sc)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if *csv {
+			if _, err := fmt.Fprintf(w, "# Figure %s: %s\n", id, figures.Caption(id)); err != nil {
+				return err
+			}
+			if err := tbl.WriteCSV(w); err != nil {
+				return err
+			}
+		} else if err := tbl.WriteText(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bgpfig: figure %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickFigureToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig.txt")
+	if err := run([]string{"-fig", "4a", "-quick", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Figure 4a") || !strings.Contains(string(data), "clique_size") {
+		t.Errorf("output missing figure content:\n%s", data)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig.csv")
+	if err := run([]string{"-fig", "7a", "-quick", "-csv", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "# Figure 7a") {
+		t.Errorf("CSV missing header comment:\n%s", s)
+	}
+	if !strings.Contains(s, "mrai_s,ttl_exhaustions,looping_ratio") {
+		t.Errorf("CSV missing columns:\n%s", s)
+	}
+}
+
+func TestRunMultipleFigures(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "figs.txt")
+	if err := run([]string{"-fig", "5a, x6", "-quick", "-seed", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 5a", "Figure x6"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -fig accepted")
+	}
+	if err := run([]string{"-fig", "zz", "-quick"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-fig", "4a", "-quick", "-out", "/nonexistent-dir/x.txt"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

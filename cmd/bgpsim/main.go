@@ -1,0 +1,232 @@
+// Command bgpsim runs a single BGP loop-study scenario and prints the
+// paper's metrics, the exact transient-loop intervals, and optionally an
+// update trace.
+//
+// Examples:
+//
+//	bgpsim -topo clique -size 15 -event tdown
+//	bgpsim -topo bclique -size 15 -event tlong -mrai 60s
+//	bgpsim -topo internet -size 110 -event tdown -seed 7 -loops
+//	bgpsim -topo figure1 -event tlong -enhance ssld
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/core"
+	"bgploop/internal/experiment"
+	"bgploop/internal/topology"
+	"bgploop/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bgpsim", flag.ContinueOnError)
+	var (
+		scenarioF = fs.String("scenario", "", "run a JSON scenario file instead of building one from flags")
+		jsonOut   = fs.Bool("json", false, "emit the run summary as JSON")
+		topo      = fs.String("topo", "clique", "topology family: clique, bclique, chain, ring, figure1, figure2, internet")
+		size      = fs.Int("size", 15, "topology size parameter (clique n, bclique n => 2n nodes, internet n)")
+		event     = fs.String("event", "tdown", "failure event: tdown or tlong")
+		mrai      = fs.Duration("mrai", bgp.DefaultMRAI, "MRAI timer value")
+		enhance   = fs.String("enhance", "standard", "protocol variant: standard, ssld, wrate, assertion, ghostflush")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		showLoops = fs.Bool("loops", false, "print the exact per-loop intervals")
+		showTrace = fs.Int("trace", 0, "print up to N protocol events from the failure onward")
+		wireDump  = fs.String("wiredump", "", "write the update trace as concatenated RFC 4271 UPDATE messages to this file")
+		mrtDump   = fs.String("mrt", "", "write the update trace as MRT BGP4MP_MESSAGE records (RFC 6396) to this file")
+		compare   = fs.Bool("compare", false, "run all five protocol variants side by side")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		scenario experiment.Scenario
+		err      error
+	)
+	if *scenarioF != "" {
+		scenario, err = experiment.LoadScenarioFile(*scenarioF)
+	} else {
+		scenario, err = buildScenario(*topo, *size, *event, *mrai, *enhance, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if *showTrace > 0 {
+		// Record generously; the post-failure filter trims afterwards.
+		scenario.TraceLimit = *showTrace * 64
+	}
+	if (*wireDump != "" || *mrtDump != "") && scenario.TraceLimit == 0 {
+		scenario.TraceLimit = 1 << 20
+	}
+
+	if *compare {
+		variants, names := core.DefaultVariants()
+		tbl, err := core.CompareEnhancements(scenario, variants, names)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return tbl.WriteCSV(os.Stdout)
+		}
+		return tbl.WriteText(os.Stdout)
+	}
+
+	rep, err := core.Run(scenario)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return rep.WriteJSON(os.Stdout)
+	}
+	tbl := rep.SummaryTable()
+	if *csv {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if *showLoops {
+		fmt.Println()
+		loops := rep.LoopTable()
+		if *csv {
+			if err := loops.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := loops.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *wireDump != "" && rep.Trace != nil {
+		f, err := os.Create(*wireDump)
+		if err != nil {
+			return err
+		}
+		n, derr := wire.DumpTrace(f, rep.Trace.Events())
+		if cerr := f.Close(); derr == nil {
+			derr = cerr
+		}
+		if derr != nil {
+			return derr
+		}
+		fmt.Fprintf(os.Stderr, "bgpsim: wrote %d UPDATE messages to %s\n", n, *wireDump)
+	}
+	if *mrtDump != "" && rep.Trace != nil {
+		f, err := os.Create(*mrtDump)
+		if err != nil {
+			return err
+		}
+		n, derr := wire.DumpTraceMRT(f, rep.Trace.Events())
+		if cerr := f.Close(); derr == nil {
+			derr = cerr
+		}
+		if derr != nil {
+			return derr
+		}
+		fmt.Fprintf(os.Stderr, "bgpsim: wrote %d MRT records to %s\n", n, *mrtDump)
+	}
+	if *showTrace > 0 && rep.Trace != nil {
+		fmt.Println()
+		fmt.Printf("Protocol trace from the failure instant (%v):\n", rep.FailAt)
+		printed := 0
+		for _, e := range rep.Trace.Events() {
+			if e.At < rep.FailAt {
+				continue
+			}
+			if printed >= *showTrace {
+				fmt.Printf("... trace truncated at %d events\n", *showTrace)
+				break
+			}
+			fmt.Println(e)
+			printed++
+		}
+	}
+	return nil
+}
+
+func buildScenario(topo string, size int, event string, mrai time.Duration, enhance string, seed int64) (experiment.Scenario, error) {
+	cfg := bgp.DefaultConfig()
+	cfg.MRAI = mrai
+	switch enhance {
+	case "standard":
+	case "ssld":
+		cfg.Enhancements.SSLD = true
+	case "wrate":
+		cfg.Enhancements.WRATE = true
+	case "assertion":
+		cfg.Enhancements.Assertion = true
+	case "ghostflush":
+		cfg.Enhancements.GhostFlushing = true
+	default:
+		return experiment.Scenario{}, fmt.Errorf("unknown enhancement %q", enhance)
+	}
+
+	wantTLong := false
+	switch event {
+	case "tdown":
+	case "tlong":
+		wantTLong = true
+	default:
+		return experiment.Scenario{}, fmt.Errorf("unknown event %q (want tdown or tlong)", event)
+	}
+
+	switch topo {
+	case "clique":
+		if wantTLong {
+			return experiment.Scenario{}, fmt.Errorf("tlong is not defined for cliques in the paper; use bclique or internet")
+		}
+		return experiment.CliqueTDown(size, cfg, seed), nil
+	case "bclique":
+		if !wantTLong {
+			g := topology.BClique(size)
+			return experiment.TDownScenario(g, 0, cfg, seed), nil
+		}
+		return experiment.BCliqueTLong(size, cfg, seed), nil
+	case "chain":
+		g := topology.Chain(size)
+		if wantTLong {
+			return experiment.Scenario{}, fmt.Errorf("every chain link is a bridge; tlong is undefined")
+		}
+		return experiment.TDownScenario(g, 0, cfg, seed), nil
+	case "ring":
+		g := topology.Ring(size)
+		if wantTLong {
+			return experiment.TLongScenario(g, 0, topology.NormEdge(0, 1), cfg, seed), nil
+		}
+		return experiment.TDownScenario(g, 0, cfg, seed), nil
+	case "figure1":
+		g := topology.Figure1()
+		if wantTLong {
+			return experiment.TLongScenario(g, 0, topology.Figure1FailedLink(), cfg, seed), nil
+		}
+		return experiment.TDownScenario(g, 0, cfg, seed), nil
+	case "figure2":
+		g := topology.Figure2Loop(size, size)
+		if wantTLong {
+			return experiment.TLongScenario(g, 0, topology.NormEdge(0, 1), cfg, seed), nil
+		}
+		return experiment.TDownScenario(g, 0, cfg, seed), nil
+	case "internet":
+		if wantTLong {
+			gen := experiment.InternetTLong(size, cfg, seed)
+			return gen(0)
+		}
+		gen := experiment.InternetTDown(size, cfg, seed)
+		return gen(0)
+	default:
+		return experiment.Scenario{}, fmt.Errorf("unknown topology %q", topo)
+	}
+}

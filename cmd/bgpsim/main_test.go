@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildScenario(t *testing.T) {
+	tests := []struct {
+		name    string
+		topo    string
+		size    int
+		event   string
+		enhance string
+		wantErr bool
+	}{
+		{"clique tdown", "clique", 5, "tdown", "standard", false},
+		{"clique tlong invalid", "clique", 5, "tlong", "standard", true},
+		{"bclique tlong", "bclique", 4, "tlong", "standard", false},
+		{"bclique tdown", "bclique", 4, "tdown", "standard", false},
+		{"chain tdown", "chain", 4, "tdown", "standard", false},
+		{"chain tlong invalid", "chain", 4, "tlong", "standard", true},
+		{"ring tlong", "ring", 5, "tlong", "standard", false},
+		{"ring tdown", "ring", 5, "tdown", "standard", false},
+		{"figure1 tlong", "figure1", 0, "tlong", "standard", false},
+		{"figure1 tdown", "figure1", 0, "tdown", "standard", false},
+		{"figure2 tlong", "figure2", 3, "tlong", "standard", false},
+		{"figure2 tdown", "figure2", 3, "tdown", "standard", false},
+		{"internet tdown", "internet", 20, "tdown", "standard", false},
+		{"internet tlong", "internet", 20, "tlong", "standard", false},
+		{"unknown topo", "torus", 5, "tdown", "standard", true},
+		{"unknown event", "clique", 5, "sideways", "standard", true},
+		{"unknown enhancement", "clique", 5, "tdown", "turbo", true},
+		{"ssld", "clique", 5, "tdown", "ssld", false},
+		{"wrate", "clique", 5, "tdown", "wrate", false},
+		{"assertion", "clique", 5, "tdown", "assertion", false},
+		{"ghostflush", "clique", 5, "tdown", "ghostflush", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := buildScenario(tt.topo, tt.size, tt.event, 30*time.Second, tt.enhance, 1)
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("built scenario invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "figure1", "-event", "tlong", "-loops"},
+		{"-topo", "clique", "-size", "4", "-event", "tdown", "-csv"},
+		{"-topo", "figure1", "-event", "tlong", "-trace", "5"},
+		{"-topo", "clique", "-size", "4", "-event", "tdown", "-compare"},
+		{"-topo", "clique", "-size", "4", "-event", "tdown", "-compare", "-csv"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-topo", "nope"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunScenarioFileAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	spec := `{"topology": {"family": "clique", "size": 4}, "event": "tdown", "seed": 2}`
+	if err := os.WriteFile(path, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+}
+
+func TestRunWireAndMRTDumps(t *testing.T) {
+	dir := t.TempDir()
+	wirePath := filepath.Join(dir, "t.bgp")
+	mrtPath := filepath.Join(dir, "t.mrt")
+	if err := run([]string{"-topo", "figure1", "-event", "tlong", "-wiredump", wirePath, "-mrt", mrtPath}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{wirePath, mrtPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

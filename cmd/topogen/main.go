@@ -1,0 +1,127 @@
+// Command topogen generates and inspects the study's AS topologies.
+//
+// Examples:
+//
+//	topogen -topo internet -size 110 -seed 1            # stats only
+//	topogen -topo internet -size 29 -edges              # edge list
+//	topogen -topo bclique -size 15 -edges -out b15.topo
+//	topogen -topo clique -size 10 -hist                 # degree histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"bgploop/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		topo  = fs.String("topo", "internet", "family: clique, bclique, chain, ring, star, figure1, figure2, internet")
+		size  = fs.Int("size", 29, "size parameter")
+		seed  = fs.Int64("seed", 1, "generator seed (internet only)")
+		edges = fs.Bool("edges", false, "print the edge list")
+		dot   = fs.Bool("dot", false, "emit Graphviz DOT (with relationships for internet topologies)")
+		hist  = fs.Bool("hist", false, "print the degree histogram")
+		out   = fs.String("out", "", "write edge list to a file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := build(*topo, *size, *seed)
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("generated graph failed validation: %w", err)
+	}
+
+	s := topology.Summarize(g)
+	fmt.Printf("%s: nodes=%d edges=%d degree[min=%d avg=%.2f max=%d] diameter=%d connected=%v bridges=%d\n",
+		g.Name(), s.Nodes, s.Edges, s.MinDegree, s.AvgDegree, s.MaxDegree, s.Diameter, s.Connected, s.Bridges)
+	lows := topology.LowestDegreeNodes(g)
+	if len(lows) > 12 {
+		fmt.Printf("lowest-degree nodes (%d total): %v ...\n", len(lows), lows[:12])
+	} else {
+		fmt.Printf("lowest-degree nodes: %v\n", lows)
+	}
+
+	if *hist {
+		h := topology.DegreeHistogram(g)
+		degrees := make([]int, 0, len(h))
+		for d := range h {
+			degrees = append(degrees, d)
+		}
+		sort.Ints(degrees)
+		for _, d := range degrees {
+			fmt.Printf("degree %3d: %d nodes\n", d, h[d])
+		}
+	}
+
+	if *dot {
+		var rels *topology.Relationships
+		if *topo == "internet" {
+			_, r, err := topology.GenerateInternetRelations(topology.InternetConfig{Nodes: *size, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			rels = r
+		}
+		return topology.WriteDOT(os.Stdout, g, rels)
+	}
+
+	if *edges || *out != "" {
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if cerr := f.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "topogen: close:", cerr)
+				}
+			}()
+			w = f
+		}
+		if err := topology.WriteEdgeList(w, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func build(topo string, size int, seed int64) (*topology.Graph, error) {
+	switch topo {
+	case "clique":
+		return topology.Clique(size), nil
+	case "bclique":
+		return topology.BClique(size), nil
+	case "chain":
+		return topology.Chain(size), nil
+	case "ring":
+		return topology.Ring(size), nil
+	case "star":
+		return topology.Star(size), nil
+	case "figure1":
+		return topology.Figure1(), nil
+	case "figure2":
+		return topology.Figure2Loop(size, size), nil
+	case "internet":
+		return topology.InternetLike(size, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}

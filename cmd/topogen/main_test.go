@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildFamilies(t *testing.T) {
+	for _, topo := range []string{"clique", "bclique", "chain", "ring", "star", "figure1", "figure2", "internet"} {
+		g, err := build(topo, 8, 1)
+		if err != nil {
+			t.Errorf("%s: %v", topo, err)
+			continue
+		}
+		if g.NumNodes() == 0 {
+			t.Errorf("%s: empty graph", topo)
+		}
+	}
+	if _, err := build("moebius", 8, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestRunStatsAndHist(t *testing.T) {
+	if err := run([]string{"-topo", "clique", "-size", "6", "-hist"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topo", "internet", "-size", "20", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEdgeListToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.topo")
+	if err := run([]string{"-topo", "bclique", "-size", "4", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "nodes 8") {
+		t.Errorf("edge list missing header:\n%s", data)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-topo", "internet", "-size", "2"}); err == nil {
+		t.Error("tiny internet accepted")
+	}
+}

@@ -1,0 +1,26 @@
+// Package bgploop reproduces "A Study of BGP Path Vector Route Looping
+// Behavior" (Pei, Zhao, Massey, Zhang — ICDCS 2004) as a self-contained Go
+// library: a discrete-event BGP simulator with the paper's delay model and
+// the four convergence enhancements it compares (SSLD, WRATE, Assertion,
+// Ghost Flushing), a data-plane replay engine measuring transient-loop
+// packet loss via TTL exhaustion, exact transient-loop interval analysis,
+// and a harness that regenerates every figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	s := bgploop.CliqueTDown(15, bgploop.DefaultConfig(), 1)
+//	rep, err := bgploop.Run(s)
+//	// rep.ConvergenceTime, rep.LoopingDuration, rep.LoopingRatio, rep.Loops ...
+//
+// # Regenerating the paper's figures
+//
+//	tbl, err := bgploop.RunFigure("8a", bgploop.FullScale())
+//	fmt.Print(tbl)
+//
+// or from the command line:
+//
+//	go run ./cmd/bgpfig -fig all
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every figure.
+package bgploop

@@ -1,0 +1,61 @@
+// Enhancements compares standard BGP against the four convergence
+// enhancements of the paper's §5 (SSLD, WRATE, Assertion, Ghost Flushing)
+// on three workloads, reproducing the qualitative content of Figures 8
+// and 9: Assertion and Ghost Flushing slash both convergence time and
+// packet looping, SSLD tracks standard BGP closely, and WRATE trades
+// shorter individual loops for a much longer convergence tail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bgploop"
+	"bgploop/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := bgploop.DefaultConfig()
+	tdownGen := experiment.InternetTDown(48, cfg, 1)
+	internetTDown, err := tdownGen(0)
+	if err != nil {
+		return err
+	}
+
+	workloads := []struct {
+		desc     string
+		scenario bgploop.Scenario
+	}{
+		{"Clique of 12 ASes, destination becomes unreachable (T_down)",
+			bgploop.CliqueTDown(12, cfg, 1)},
+		{"B-Clique of 10 (20 ASes), shortcut link fails (T_long)",
+			bgploop.BCliqueTLong(10, cfg, 1)},
+		{"Internet-like 48-AS topology, stub destination fails (T_down)",
+			internetTDown},
+	}
+
+	for _, w := range workloads {
+		fmt.Println(w.desc)
+		tbl, err := bgploop.CompareEnhancements(w.scenario)
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the tables (paper §5, Observation 3):")
+	fmt.Println(" - assertion and ghostflush cut convergence and TTL exhaustions by large factors;")
+	fmt.Println(" - ssld stays close to standard BGP;")
+	fmt.Println(" - wrate lengthens convergence by delaying withdrawals behind the MRAI timer.")
+	return nil
+}

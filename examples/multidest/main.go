@@ -1,0 +1,97 @@
+// Multidest runs the multi-prefix extension: every AS in an Internet-like
+// topology originates its own prefix, one busy provider fails, and the
+// harness measures how the single failure disturbs routing to every
+// destination at once — which destinations are affected, where the
+// transient loops concentrate, and how much traffic is lost network-wide.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/experiment"
+	"bgploop/internal/report"
+	"bgploop/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := topology.InternetLike(48, 4)
+	if err != nil {
+		return err
+	}
+	// Fail the busiest mid-tier AS: maximum blast radius.
+	var busiest topology.Node
+	for _, v := range g.Nodes() {
+		if g.Degree(v) > g.Degree(busiest) {
+			busiest = v
+		}
+	}
+
+	s := experiment.MultiScenario{
+		Graph:    g,
+		Event:    experiment.TDown,
+		FailNode: busiest,
+		BGP:      bgp.DefaultConfig(),
+		Seed:     4,
+	}
+	res, err := experiment.RunMulti(s)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Failure of AS %d (degree %d) in %s: convergence %v, %d/%d destinations affected.\n\n",
+		busiest, g.Degree(busiest), g.Name(), res.ConvergenceTime.Round(res.ConvergenceTime/100),
+		res.AffectedDests, len(res.PerDest))
+
+	// Rank destinations by TTL exhaustions.
+	type row struct {
+		dest topology.Node
+		out  *experiment.DestOutcome
+	}
+	var rows []row
+	for dest, out := range res.PerDest {
+		if out.Replay.TTLExhausted > 0 || len(out.Loops) > 0 {
+			rows = append(rows, row{dest, out})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].out.Replay.TTLExhausted > rows[j].out.Replay.TTLExhausted
+	})
+	tbl := &report.Table{
+		Title:   "Destinations with transient loops (top 10 by TTL exhaustions)",
+		Columns: []string{"dest", "degree", "exhaustions", "loops", "max_loop", "delivered", "no_route"},
+	}
+	for i, r := range rows {
+		if i >= 10 {
+			break
+		}
+		tbl.AddFloats(fmt.Sprintf("%d", r.dest),
+			float64(g.Degree(r.dest)),
+			float64(r.out.Replay.TTLExhausted),
+			float64(len(r.out.Loops)),
+			float64(r.out.LoopStats.MaxSize),
+			float64(r.out.Replay.Delivered),
+			float64(r.out.Replay.NoRoute))
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nNetwork-wide: %d packets sent during convergence, %d TTL exhaustions (ratio %.3f),\n",
+		res.PacketsSent, res.TTLExhaustions, res.LoopingRatio)
+	fmt.Printf("%d transient loops across %d affected destinations, %d updates exchanged.\n",
+		res.LoopCount, res.AffectedDests, res.UpdatesSent)
+	fmt.Println("\nNote how looping concentrates on destinations homed at or behind the failed")
+	fmt.Println("provider — the paper's single-destination experiments are the worst-case slice")
+	fmt.Println("of this picture.")
+	return nil
+}

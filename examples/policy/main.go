@@ -1,0 +1,95 @@
+// Policy studies transient loops under realistic routing *policies* — an
+// extension beyond the paper, whose experiments use plain shortest-path
+// routing (its introduction notes that loops can also arise under policy
+// changes). It runs the same T_down failure on the same Internet-like
+// topology twice: once with shortest-path routing and once with
+// Gao-Rexford customer/peer/provider policies (relationship-based
+// preference + valley-free export filtering), and compares convergence
+// and looping.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bgploop"
+	"bgploop/internal/bgp"
+	"bgploop/internal/des"
+	"bgploop/internal/experiment"
+	"bgploop/internal/report"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		size   = 48
+		trials = 4
+	)
+	g, rels, err := topology.GenerateInternetRelations(topology.InternetConfig{Nodes: size, Seed: 2})
+	if err != nil {
+		return err
+	}
+	if err := rels.Validate(g); err != nil {
+		return err
+	}
+
+	shortest := bgploop.DefaultConfig()
+
+	gaoRexford := bgploop.DefaultConfig()
+	gaoRexford.PolicyFor = func(self topology.Node) routing.Policy {
+		return routing.GaoRexford{Self: self, Rel: rels}
+	}
+	gaoRexford.Export = bgp.GaoRexfordExport{Rel: rels}
+
+	tbl := &report.Table{
+		Title: fmt.Sprintf("T_down on %s: shortest-path vs Gao-Rexford policy routing", g.Name()),
+		Columns: []string{
+			"policy", "convergence_s", "looping_duration_s",
+			"ttl_exhaustions", "looping_ratio", "updates_sent",
+		},
+	}
+
+	for _, variant := range []struct {
+		name string
+		cfg  bgploop.Config
+	}{
+		{"shortest-path", shortest},
+		{"gao-rexford", gaoRexford},
+	} {
+		gen := func(trial int) (experiment.Scenario, error) {
+			pick := des.NewRNG(int64(trial) + 10).Stream("policy/dest")
+			lows := topology.LowestDegreeNodes(g)
+			dest := lows[pick.Intn(len(lows))]
+			return experiment.TDownScenario(g, dest, variant.cfg, int64(trial)+10), nil
+		}
+		agg, _, err := experiment.RunTrials(gen, trials)
+		if err != nil {
+			return err
+		}
+		tbl.AddFloats(variant.name,
+			agg.ConvergenceSec.Mean,
+			agg.LoopingDurationSec.Mean,
+			agg.TTLExhaustions.Mean,
+			agg.LoopingRatio.Mean,
+			agg.UpdatesSent.Mean)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("Why policy routing changes the picture: Gao-Rexford export rules keep")
+	fmt.Println("peer- and provider-learned routes away from non-customers, so each node")
+	fmt.Println("holds fewer alternate (and fewer obsolete) paths. Path exploration is")
+	fmt.Println("shallower, which typically shortens convergence and cuts looping — at the")
+	fmt.Println("price of giving up some physically-available detours.")
+	return nil
+}

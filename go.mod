@@ -1,0 +1,3 @@
+module bgploop
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package bgp implements the path-vector protocol engine of the paper: BGP
+// speakers with per-(destination, peer) MRAI timers, serial per-message
+// processing delay, explicit withdrawals, and the four convergence
+// enhancements studied in §5 (SSLD, WRATE, Assertion, Ghost Flushing).
+//
+// A Speaker owns the routing.Table for each destination, reacts to
+// messages delivered by netsim.Network, and emits updates subject to the
+// protocol's timing rules. All delays are drawn from named des.RNG streams
+// so runs are reproducible.
+package bgp
+
+import (
+	"fmt"
+	"time"
+
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// Defaults matching the paper's simulation settings (§4.1, §4.2).
+const (
+	// DefaultMRAI is BGP's default Minimum Route Advertisement Interval.
+	DefaultMRAI = 30 * time.Second
+	// DefaultProcDelayMin/Max bound the per-message routing-processing
+	// delay ("uniformly distributed between 0.1 second and 0.5 second").
+	DefaultProcDelayMin = 100 * time.Millisecond
+	DefaultProcDelayMax = 500 * time.Millisecond
+	// DefaultJitterMin/Max bound the multiplicative MRAI jitter factor
+	// (SSFNET's jitter model: each armed interval is MRAI * U[0.75, 1]).
+	DefaultJitterMin = 0.75
+	DefaultJitterMax = 1.0
+)
+
+// Enhancements selects which convergence-enhancement mechanisms a speaker
+// runs. The zero value is standard RFC 1771 BGP.
+type Enhancements struct {
+	// SSLD enables Sender-Side Loop Detection: before announcing a path
+	// to a peer that appears in the path, send a withdrawal instead, so
+	// the poison-reverse information reaches the peer as an explicit
+	// withdrawal rather than a to-be-discarded announcement.
+	//
+	// Timing of the substituted withdrawal: by default it inherits the
+	// gating of the announcement it replaces — sent at once when the
+	// peer's MRAI timer is idle (this is the Figure 1(b) situation the
+	// paper describes, where SSLD resolves the 2-node loop at processing
+	// + propagation speed), and deferred to timer expiry otherwise. This
+	// calibration matches the modest improvements the paper measures
+	// with SSFNET's built-in SSLD. See SSLDImmediate for the alternative
+	// reading of the paper's prose.
+	SSLD bool
+	// SSLDImmediate changes SSLD's substituted withdrawal to bypass an
+	// armed MRAI timer entirely (the most literal reading of "a
+	// withdrawal message ... which is not limited by the MRAI timer").
+	// Under this variant every ghost-path switch immediately poisons the
+	// new next hop, which in cliques collapses T_down convergence to
+	// processing speed — far stronger than anything the paper reports
+	// for SSLD, which is why it is not the default. Kept as an ablation
+	// knob; see the ssld-variant benchmarks.
+	SSLDImmediate bool
+	// WRATE applies the MRAI timer to withdrawals as well as
+	// announcements (the behaviour adopted by the post-RFC1771 spec).
+	WRATE bool
+	// Assertion removes adj-RIB-in paths that are inconsistent with the
+	// latest information from a neighbor: on an update from u, any stored
+	// path containing u whose sub-path from u differs from u's current
+	// path is invalidated.
+	Assertion bool
+	// GhostFlushing sends an immediate withdrawal whenever the node
+	// switches to a longer path while the announcement of that path is
+	// delayed by the MRAI timer, flushing obsolete path info quickly.
+	GhostFlushing bool
+}
+
+// String names the active enhancement combination ("standard" when none).
+func (e Enhancements) String() string {
+	switch {
+	case !e.SSLD && !e.WRATE && !e.Assertion && !e.GhostFlushing:
+		return "standard"
+	case e.SSLD && !e.WRATE && !e.Assertion && !e.GhostFlushing:
+		return "ssld"
+	case !e.SSLD && e.WRATE && !e.Assertion && !e.GhostFlushing:
+		return "wrate"
+	case !e.SSLD && !e.WRATE && e.Assertion && !e.GhostFlushing:
+		return "assertion"
+	case !e.SSLD && !e.WRATE && !e.Assertion && e.GhostFlushing:
+		return "ghostflush"
+	}
+	s := ""
+	for _, part := range []struct {
+		on   bool
+		name string
+	}{{e.SSLD, "ssld"}, {e.WRATE, "wrate"}, {e.Assertion, "assertion"}, {e.GhostFlushing, "ghostflush"}} {
+		if part.on {
+			if s != "" {
+				s += "+"
+			}
+			s += part.name
+		}
+	}
+	return s
+}
+
+// Config parameterises a Speaker. The zero value is invalid; use
+// DefaultConfig or fill every field and call Validate.
+type Config struct {
+	// MRAI is the Minimum Route Advertisement Interval applied per
+	// (destination, peer) pair.
+	MRAI time.Duration
+	// MRAIContinuous selects the timer model. False (default): the timer
+	// is armed when an advertisement is sent and an idle timer lets the
+	// next advertisement go immediately ("reset" model). True: the timer
+	// ticks continuously from a random phase and advertisements are only
+	// released at ticks, so even the first post-failure update waits up
+	// to one jittered interval ("continuous" model, as in SSFNET-style
+	// implementations where per-peer timers free-run). The two models
+	// bound the behaviour of real routers; see the mrai-model ablation
+	// benchmarks.
+	MRAIContinuous bool
+	// JitterMin and JitterMax bound the multiplicative factor applied to
+	// each armed MRAI interval. Set both to 1 to disable jitter.
+	JitterMin, JitterMax float64
+	// ProcDelayMin and ProcDelayMax bound the uniform per-message
+	// processing delay of the node's (serial) route processor.
+	ProcDelayMin, ProcDelayMax time.Duration
+	// Policy ranks candidate routes; nil means routing.ShortestPath.
+	Policy routing.Policy
+	// PolicyFor, when non-nil, supplies a per-node route-selection policy
+	// and overrides Policy (needed by relationship-aware policies such as
+	// routing.GaoRexford, whose ranking depends on the deciding node).
+	PolicyFor func(self topology.Node) routing.Policy
+	// Export, when non-nil, filters which routes are advertised to which
+	// peers. A best route that may not be exported to a peer is
+	// withdrawn from it. Nil exports everything (the paper's model).
+	Export ExportPolicy
+	// Damping, when non-nil, enables RFC 2439 route flap damping at every
+	// speaker (an extension beyond the paper; see DefaultDamping).
+	Damping *DampingConfig
+	// Enhancements selects the convergence enhancements to run.
+	Enhancements Enhancements
+}
+
+// ExportPolicy decides whether a node may advertise its best route to a
+// peer — the policy-routing hook (an extension beyond the paper).
+type ExportPolicy interface {
+	// ShouldExport reports whether self may advertise its current best
+	// route, learned from learnedFrom (topology.None when
+	// self-originated), to peer to.
+	ShouldExport(self, learnedFrom, to topology.Node) bool
+}
+
+// GaoRexfordExport implements the classic Gao-Rexford export rule: routes
+// learned from customers (and self-originated routes) are exported to
+// every neighbor; routes learned from peers or providers are exported
+// only to customers.
+type GaoRexfordExport struct {
+	// Rel supplies the relationship annotations.
+	Rel *topology.Relationships
+}
+
+// ShouldExport implements ExportPolicy.
+func (e GaoRexfordExport) ShouldExport(self, learnedFrom, to topology.Node) bool {
+	if learnedFrom == topology.None {
+		return true // self-originated: export to everyone
+	}
+	if e.Rel.Kind(self, learnedFrom) == topology.RelCustomer {
+		return true // customer routes: export to everyone
+	}
+	// Peer/provider routes: only to customers.
+	return e.Rel.Kind(self, to) == topology.RelCustomer
+}
+
+var _ ExportPolicy = GaoRexfordExport{}
+
+// DefaultConfig returns the paper's standard-BGP configuration.
+func DefaultConfig() Config {
+	return Config{
+		MRAI:         DefaultMRAI,
+		JitterMin:    DefaultJitterMin,
+		JitterMax:    DefaultJitterMax,
+		ProcDelayMin: DefaultProcDelayMin,
+		ProcDelayMax: DefaultProcDelayMax,
+		Policy:       routing.ShortestPath{},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MRAI < 0 {
+		return fmt.Errorf("bgp: negative MRAI %v", c.MRAI)
+	}
+	if c.JitterMin <= 0 || c.JitterMax < c.JitterMin {
+		return fmt.Errorf("bgp: bad jitter range [%v, %v]", c.JitterMin, c.JitterMax)
+	}
+	if c.ProcDelayMin < 0 || c.ProcDelayMax < c.ProcDelayMin {
+		return fmt.Errorf("bgp: bad processing delay range [%v, %v]", c.ProcDelayMin, c.ProcDelayMax)
+	}
+	if c.Damping != nil {
+		if err := c.Damping.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withDefaults fills nil/zero fields that have safe defaults.
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = routing.ShortestPath{}
+	}
+	return c
+}

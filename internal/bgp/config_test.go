@@ -1,0 +1,65 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative MRAI", func(c *Config) { c.MRAI = -time.Second }},
+		{"zero jitter min", func(c *Config) { c.JitterMin = 0 }},
+		{"inverted jitter", func(c *Config) { c.JitterMin = 1.0; c.JitterMax = 0.5 }},
+		{"negative proc delay", func(c *Config) { c.ProcDelayMin = -1 }},
+		{"inverted proc delay", func(c *Config) { c.ProcDelayMin = time.Second; c.ProcDelayMax = time.Millisecond }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Errorf("%s accepted", tt.name)
+			}
+		})
+	}
+}
+
+func TestEnhancementsString(t *testing.T) {
+	tests := []struct {
+		e    Enhancements
+		want string
+	}{
+		{Enhancements{}, "standard"},
+		{Enhancements{SSLD: true}, "ssld"},
+		{Enhancements{WRATE: true}, "wrate"},
+		{Enhancements{Assertion: true}, "assertion"},
+		{Enhancements{GhostFlushing: true}, "ghostflush"},
+		{Enhancements{SSLD: true, WRATE: true}, "ssld+wrate"},
+		{Enhancements{Assertion: true, GhostFlushing: true}, "assertion+ghostflush"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("%+v.String() = %q, want %q", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	w := Update{Dest: 0, Withdraw: true}
+	if w.String() != "withdraw 0" {
+		t.Errorf("withdraw String = %q", w.String())
+	}
+	a := Update{Dest: 0, Path: pathOf(5, 4, 0)}
+	if a.String() != "announce 0 (5 4 0)" {
+		t.Errorf("announce String = %q", a.String())
+	}
+}

@@ -1,0 +1,162 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bgploop/internal/topology"
+)
+
+// TestPropertyConvergesToShortestPaths converges BGP on random
+// Internet-like topologies (no failure) and checks that every node's
+// selected path length equals the true BFS distance to the destination —
+// the steady-state correctness property of the shortest-path policy.
+func TestPropertyConvergesToShortestPaths(t *testing.T) {
+	f := func(sizeSeed uint8, seed int64) bool {
+		n := 8 + int(sizeSeed)%30
+		g, err := topology.InternetLike(n, seed)
+		if err != nil {
+			return false
+		}
+		dest := topology.LowestDegreeNodes(g)[0]
+		s := newSimOn(t, g, dest, DefaultConfig(), seed)
+		dist := g.ShortestPathLens(dest)
+		for _, v := range g.Nodes() {
+			best := s.best(v)
+			if best == nil {
+				return false // connected graph: everyone must have a route
+			}
+			// Path (v ... dest) has length dist+1 elements.
+			if best.Len() != dist[v]+1 {
+				t.Logf("node %d best %v but BFS distance %d", v, best, dist[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySteadyStateForwardingIsLoopFree follows next hops in the
+// converged state and confirms every walk terminates at the destination
+// within n hops.
+func TestPropertySteadyStateForwardingIsLoopFree(t *testing.T) {
+	f := func(sizeSeed uint8, seed int64) bool {
+		n := 8 + int(sizeSeed)%30
+		g, err := topology.InternetLike(n, seed)
+		if err != nil {
+			return false
+		}
+		dest := topology.LowestDegreeNodes(g)[len(topology.LowestDegreeNodes(g))-1]
+		s := newSimOn(t, g, dest, DefaultConfig(), seed)
+		for _, v := range g.Nodes() {
+			pos := v
+			for hops := 0; pos != dest; hops++ {
+				if hops > g.NumNodes() {
+					return false // forwarding loop in steady state
+				}
+				tab := s.speakers[pos].Table(dest)
+				if tab == nil || !tab.HasRoute() {
+					return false
+				}
+				pos = tab.NextHop()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTLongReconvergesToShortest fails a random non-bridge link
+// and checks that the network settles on the shortest paths of the failed
+// topology.
+func TestPropertyTLongReconvergesToShortest(t *testing.T) {
+	f := func(sizeSeed uint8, seed int64) bool {
+		n := 8 + int(sizeSeed)%24
+		g, err := topology.InternetLike(n, seed)
+		if err != nil {
+			return false
+		}
+		dest := topology.LowestDegreeNodes(g)[0]
+		// Pick the first failable link deterministically.
+		var link topology.Edge
+		found := false
+		for _, e := range g.Edges() {
+			if g.ConnectedWithout(e) {
+				link, found = e, true
+				break
+			}
+		}
+		if !found {
+			return true // tree topology: nothing to fail, trivially fine
+		}
+		s := newSimOn(t, g, dest, DefaultConfig(), seed)
+		s.failLink(t, link.A, link.B)
+		failed := g.Clone()
+		failed.RemoveEdge(link.A, link.B)
+		dist := failed.ShortestPathLens(dest)
+		for _, v := range g.Nodes() {
+			best := s.best(v)
+			if best == nil || best.Len() != dist[v]+1 {
+				t.Logf("node %d post-failure best %v, BFS distance %d", v, best, dist[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEnhancementsPreserveCorrectness verifies that every
+// enhancement converges to the same final routing state as standard BGP —
+// they may change the journey, never the destination.
+func TestPropertyEnhancementsPreserveCorrectness(t *testing.T) {
+	enhancements := []Enhancements{
+		{SSLD: true},
+		{SSLD: true, SSLDImmediate: true},
+		{WRATE: true},
+		{Assertion: true},
+		{GhostFlushing: true},
+		{SSLD: true, WRATE: true, Assertion: true, GhostFlushing: true},
+	}
+	g, err := topology.InternetLike(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := topology.LowestDegreeNodes(g)[0]
+	var link topology.Edge
+	for _, e := range g.Edges() {
+		if g.ConnectedWithout(e) {
+			link = e
+			break
+		}
+	}
+	failed := g.Clone()
+	failed.RemoveEdge(link.A, link.B)
+	dist := failed.ShortestPathLens(dest)
+
+	for _, e := range enhancements {
+		cfg := DefaultConfig()
+		cfg.Enhancements = e
+		s := newSimOn(t, g, dest, cfg, 11)
+		s.failLink(t, link.A, link.B)
+		for _, v := range g.Nodes() {
+			best := s.best(v)
+			if best == nil || best.Len() != dist[v]+1 {
+				t.Errorf("%s: node %d best %v, want BFS distance %d", e, v, best, dist[v])
+			}
+		}
+	}
+}
+
+// newSimOn is newSim for an arbitrary graph/destination.
+func newSimOn(t *testing.T, g *topology.Graph, dest topology.Node, cfg Config, seed int64) *sim {
+	t.Helper()
+	return newSim(t, g, dest, cfg, seed)
+}

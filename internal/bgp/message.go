@@ -1,0 +1,80 @@
+package bgp
+
+import (
+	"fmt"
+
+	"bgploop/internal/des"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// Update is a BGP update message for one destination: either an
+// announcement carrying the sender's full AS path, or an explicit
+// withdrawal. Announced paths start with the sending AS, as in the paper's
+// notation (node 5 announces "(5 6 4 0)").
+type Update struct {
+	// Dest identifies the destination prefix by its originating AS.
+	Dest topology.Node
+	// Withdraw marks an explicit route withdrawal; Path is nil.
+	Withdraw bool
+	// Path is the announced AS path (first element = sender, last =
+	// origin). Nil iff Withdraw.
+	Path routing.Path
+}
+
+// String renders the update for traces, e.g. "announce 0 (5 6 4 0)" or
+// "withdraw 0".
+func (u Update) String() string {
+	if u.Withdraw {
+		return fmt.Sprintf("withdraw %d", u.Dest)
+	}
+	return fmt.Sprintf("announce %d %v", u.Dest, u.Path)
+}
+
+// Observer receives simulation-visible protocol events. Implementations
+// must be cheap; they run inline with event processing.
+type Observer interface {
+	// RouteChanged fires whenever a node's loc-RIB for dest changes;
+	// nexthop is the new forwarding next hop (topology.None when the
+	// destination became unreachable) and best the new self-prefixed
+	// best path (nil when unreachable). It fires on any best-path
+	// change, so consecutive calls may carry the same next hop.
+	// Implementations must not retain best without cloning it.
+	RouteChanged(now des.Time, node, dest, nexthop topology.Node, best routing.Path)
+	// UpdateSent fires when a node hands an update to the network.
+	UpdateSent(now des.Time, from, to topology.Node, update Update)
+}
+
+// NopObserver ignores all events.
+type NopObserver struct{}
+
+// RouteChanged implements Observer.
+func (NopObserver) RouteChanged(des.Time, topology.Node, topology.Node, topology.Node, routing.Path) {
+}
+
+// UpdateSent implements Observer.
+func (NopObserver) UpdateSent(des.Time, topology.Node, topology.Node, Update) {}
+
+var _ Observer = NopObserver{}
+
+// Stats counts protocol activity at one speaker.
+type Stats struct {
+	UpdatesReceived   int
+	AnnouncementsSent int
+	WithdrawalsSent   int
+	// LastUpdateSent is the instant this speaker last sent any update;
+	// the maximum across speakers defines the paper's convergence time.
+	LastUpdateSent des.Time
+	// BestChanges counts loc-RIB changes (route flaps seen locally).
+	BestChanges int
+	// Enhancement-specific counters.
+	SSLDConversions        int // announcements converted to withdrawals
+	GhostFlushes           int // immediate withdrawals sent by Ghost Flushing
+	AssertionInvalidations int // adj-RIB-in entries invalidated
+	MalformedDropped       int // updates dropped by sanity checks
+	RoutesSuppressed       int // suppression periods started by flap damping
+	RoutesReused           int // suppression periods ended by flap damping
+}
+
+// UpdatesSent returns announcements plus withdrawals.
+func (s Stats) UpdatesSent() int { return s.AnnouncementsSent + s.WithdrawalsSent }

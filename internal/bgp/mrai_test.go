@@ -1,0 +1,87 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// TestContinuousMRAISpacing verifies the free-running timer model: all
+// rate-limited sends from one node to one peer land on the (dest, peer)
+// tick grid, so consecutive announcements are spaced by a multiple of the
+// jittered interval.
+func TestContinuousMRAISpacing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MRAIContinuous = true
+	cfg.JitterMin, cfg.JitterMax = 1.0, 1.0 // exact 30 s grid
+	s := newSim(t, topology.Clique(6), 0, cfg, 41)
+	s.failNode(t, 0)
+	last := make(map[[2]topology.Node]des.Time)
+	for _, r := range s.obs.sent {
+		if r.update.Withdraw {
+			continue
+		}
+		key := [2]topology.Node{r.from, r.to}
+		if prev, ok := last[key]; ok {
+			gap := r.at - prev
+			// Multiples of 30 s, modulo sub-millisecond arithmetic noise.
+			rem := gap % (30 * time.Second)
+			if rem > time.Millisecond && rem < 30*time.Second-time.Millisecond {
+				t.Fatalf("announcements %d->%d spaced %v apart: off the 30s tick grid", r.from, r.to, gap)
+			}
+		}
+		last[key] = r.at
+	}
+}
+
+// TestContinuousMRAIDelaysFirstUpdate demonstrates the defining
+// difference of the continuous model: the first post-failure announcement
+// waits for the next tick instead of going immediately.
+func TestContinuousMRAIDelaysFirstUpdate(t *testing.T) {
+	run := func(continuous bool) des.Time {
+		cfg := DefaultConfig()
+		cfg.MRAIContinuous = continuous
+		s := newSim(t, topology.Figure1(), 0, cfg, 42)
+		failAt := s.failLink(t, 4, 0)
+		// First announcement (not withdrawal) after the failure.
+		for _, r := range s.obs.sent {
+			if r.at >= failAt && !r.update.Withdraw {
+				return r.at - failAt
+			}
+		}
+		t.Fatal("no post-failure announcement")
+		return 0
+	}
+	reset := run(false)
+	continuous := run(true)
+	// Reset model: the first ghost announcement leaves after one
+	// processing delay (well under a second... plus the withdrawal
+	// processing at 5/6). Continuous model: it waits for a tick, typically
+	// many seconds.
+	if reset > 5*time.Second {
+		t.Errorf("reset-model first announcement took %v, expected sub-second-ish", reset)
+	}
+	if continuous < reset {
+		t.Errorf("continuous model (%v) not slower than reset model (%v)", continuous, reset)
+	}
+}
+
+// TestContinuousMRAIQuiesces confirms the lazy tick implementation leaves
+// no stray events: the simulation drains even though timers are
+// conceptually always running.
+func TestContinuousMRAIQuiesces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MRAIContinuous = true
+	s := newSim(t, topology.Clique(8), 0, cfg, 43)
+	s.failNode(t, 0)
+	if n := s.sched.Len(); n != 0 {
+		t.Errorf("%d events left after quiescence", n)
+	}
+	for v := topology.Node(1); v < 8; v++ {
+		if s.speakers[v].Table(0).HasRoute() {
+			t.Errorf("node %d kept a route after T_down", v)
+		}
+	}
+}

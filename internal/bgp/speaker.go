@@ -1,0 +1,526 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bgploop/internal/des"
+	"bgploop/internal/netsim"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// Speaker is one AS's BGP process. It consumes updates delivered by the
+// network, maintains a routing.Table per destination, and emits updates
+// according to BGP's timing rules:
+//
+//   - a serial route processor: each received update occupies the node for
+//     a uniform processing delay, and updates queue FIFO behind it;
+//   - a per-(destination, peer) MRAI timer with multiplicative jitter that
+//     rate-limits announcements (and, under WRATE, withdrawals);
+//   - withdrawals bypass the MRAI timer (RFC 1771) unless WRATE is on;
+//   - immediate session-failure detection (PeerDown).
+//
+// Speakers are driven entirely by the DES kernel and are not safe for
+// concurrent use; the kernel is single-threaded by design.
+type Speaker struct {
+	id     topology.Node
+	sched  *des.Scheduler
+	net    *netsim.Network
+	cfg    Config
+	obs    Observer
+	policy routing.Policy // resolved from cfg.PolicyFor / cfg.Policy
+
+	rngProc *rand.Rand
+	rngJit  *rand.Rand
+
+	peerSet map[topology.Node]bool
+	peers   []topology.Node // sorted; kept in sync with peerSet
+
+	dests     map[topology.Node]*destState
+	destOrder []topology.Node // sorted keys of dests
+
+	// busyUntil models the serial route processor: the instant the node
+	// finishes processing everything currently queued.
+	busyUntil des.Time
+
+	stats Stats
+}
+
+// destState is the per-destination protocol state beyond the RIB.
+type destState struct {
+	table *routing.Table
+	// adv holds the last route advertised to each peer (nil = withdrawn
+	// or never advertised). BGP advertises "only upon route changes", so
+	// sends are suppressed when the desired route equals adv.
+	adv map[topology.Node]routing.Path
+	// mrai holds the per-peer MRAI timer state for this destination.
+	mrai map[topology.Node]*mraiState
+	// damp holds per-peer flap-damping state (Config.Damping only).
+	damp map[topology.Node]*dampState
+}
+
+type mraiState struct {
+	armed   bool
+	pending bool // re-evaluate what to advertise when the timer expires
+	handle  des.Handle
+
+	// Continuous timer model (Config.MRAIContinuous): the timer
+	// free-runs with a fixed jittered interval from a random phase, and
+	// sends are released only at tick instants.
+	interval  des.Time
+	phase     des.Time
+	flushSet  bool // a tick-flush event is scheduled
+	continual bool // interval/phase initialised
+}
+
+// NewSpeaker creates the speaker for node id, attaches it to the network,
+// and initialises its peer set from the node's current neighbors.
+func NewSpeaker(id topology.Node, sched *des.Scheduler, net *netsim.Network, cfg Config, rng *des.RNG, obs Observer) (*Speaker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	s := &Speaker{
+		id:      id,
+		sched:   sched,
+		net:     net,
+		cfg:     cfg,
+		obs:     obs,
+		rngProc: rng.Stream(fmt.Sprintf("bgp/proc/%d", id)),
+		rngJit:  rng.Stream(fmt.Sprintf("bgp/jitter/%d", id)),
+		peerSet: make(map[topology.Node]bool),
+		dests:   make(map[topology.Node]*destState),
+	}
+	s.policy = cfg.Policy
+	if cfg.PolicyFor != nil {
+		s.policy = cfg.PolicyFor(id)
+	}
+	for _, u := range net.Graph().Neighbors(id) {
+		s.peerSet[u] = true
+		s.peers = append(s.peers, u)
+	}
+	net.Attach(id, s)
+	return s, nil
+}
+
+// ID returns the speaker's AS number.
+func (s *Speaker) ID() topology.Node { return s.id }
+
+// Stats returns a snapshot of the speaker's protocol counters.
+func (s *Speaker) Stats() Stats { return s.stats }
+
+// Peers returns the speaker's current (up) peers in ascending order.
+func (s *Speaker) Peers() []topology.Node {
+	return append([]topology.Node(nil), s.peers...)
+}
+
+// Table returns the routing table for dest, or nil if the speaker has
+// never heard of it.
+func (s *Speaker) Table(dest topology.Node) *routing.Table {
+	st, ok := s.dests[dest]
+	if !ok {
+		return nil
+	}
+	return st.table
+}
+
+// Originate declares that this speaker's AS originates the destination
+// (dest must equal the speaker's ID) and announces it to all peers at the
+// current virtual time.
+func (s *Speaker) Originate(dest topology.Node) error {
+	if dest != s.id {
+		return fmt.Errorf("bgp: node %d cannot originate destination %d", s.id, dest)
+	}
+	st := s.destState(dest)
+	s.obs.RouteChanged(s.sched.Now(), s.id, dest, st.table.NextHop(), st.table.Best())
+	for _, peer := range s.peers {
+		s.advertise(st, peer)
+	}
+	return nil
+}
+
+// Deliver implements netsim.Handler: a BGP update arrives from a peer and
+// enters the serial route processor.
+func (s *Speaker) Deliver(from topology.Node, payload any) {
+	up, ok := payload.(Update)
+	if !ok {
+		s.stats.MalformedDropped++
+		return
+	}
+	now := s.sched.Now()
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	proc := des.Uniform(s.rngProc, s.cfg.ProcDelayMin, s.cfg.ProcDelayMax)
+	completion := start + proc
+	s.busyUntil = completion
+	// Scheduling at or after now never fails.
+	if _, err := s.sched.At(completion, func() { s.process(from, up) }); err != nil {
+		panic(fmt.Sprintf("bgp: impossible past scheduling: %v", err))
+	}
+}
+
+// PeerDown implements netsim.Handler: the session to peer is lost. All
+// state learned from the peer is discarded immediately and the decision
+// process reruns. The paper models failure detection as instantaneous;
+// only *routing messages* incur processing delay.
+func (s *Speaker) PeerDown(peer topology.Node) {
+	if !s.peerSet[peer] {
+		return
+	}
+	delete(s.peerSet, peer)
+	for i, p := range s.peers {
+		if p == peer {
+			s.peers = append(s.peers[:i], s.peers[i+1:]...)
+			break
+		}
+	}
+	for _, dest := range s.destOrder {
+		st := s.dests[dest]
+		if m, ok := st.mrai[peer]; ok {
+			m.handle.Cancel()
+			delete(st.mrai, peer)
+		}
+		if d, ok := st.damp[peer]; ok {
+			d.reuse.Cancel()
+			delete(st.damp, peer)
+		}
+		delete(st.adv, peer)
+		if st.table.RemovePeer(peer) {
+			s.bestChanged(st)
+		}
+	}
+}
+
+// PeerUp implements netsim.Handler: the session to peer (re)establishes.
+// BGP exchanges full tables on session start, so the speaker advertises
+// its current best route for every known destination to the new peer.
+func (s *Speaker) PeerUp(peer topology.Node) {
+	if s.peerSet[peer] {
+		return
+	}
+	s.peerSet[peer] = true
+	i := sort.Search(len(s.peers), func(i int) bool { return s.peers[i] >= peer })
+	s.peers = append(s.peers, 0)
+	copy(s.peers[i+1:], s.peers[i:])
+	s.peers[i] = peer
+	for _, dest := range s.destOrder {
+		st := s.dests[dest]
+		// Fresh session: no advertisement state, no timer state.
+		delete(st.adv, peer)
+		delete(st.mrai, peer)
+		s.advertise(st, peer)
+	}
+}
+
+// process applies one received update after its processing delay.
+func (s *Speaker) process(from topology.Node, up Update) {
+	if !s.peerSet[from] {
+		// The session died while the update sat in the processor queue;
+		// its contents are obsolete by definition.
+		return
+	}
+	s.stats.UpdatesReceived++
+	if !up.Withdraw && (up.Path.First() != from || up.Path.HasDuplicate()) {
+		s.stats.MalformedDropped++
+		return
+	}
+	st := s.destState(up.Dest)
+	if s.cfg.Damping != nil {
+		applied, ok := s.dampUpdate(st, from, up)
+		if !ok {
+			return // suppressed: buffered until the reuse timer fires
+		}
+		up = applied
+	}
+	var changed bool
+	if up.Withdraw {
+		changed = st.table.Withdraw(from)
+	} else {
+		changed = st.table.Update(from, up.Path)
+	}
+	if s.cfg.Enhancements.Assertion {
+		changed = s.assertionSweep(st, from, up) || changed
+	}
+	if changed {
+		s.bestChanged(st)
+	}
+}
+
+// assertionSweep implements the Assertion enhancement (§5): when node v
+// receives path(u, new) from neighbor u, v removes any stored path that
+// includes u and contains a sub-path from u different from path(u, new);
+// on a withdrawal from u, every stored path through u is removed.
+func (s *Speaker) assertionSweep(st *destState, from topology.Node, up Update) bool {
+	invalidated := 0
+	changed := st.table.Invalidate(func(peer topology.Node, path routing.Path) bool {
+		if peer == from {
+			return true
+		}
+		suffix, through := path.SuffixFrom(from)
+		if !through {
+			return true // does not involve u; no assertion applies
+		}
+		if up.Withdraw {
+			invalidated++
+			return false // u has no route, so no path through u is valid
+		}
+		if suffix.Equal(up.Path) {
+			return true
+		}
+		invalidated++
+		return false
+	})
+	s.stats.AssertionInvalidations += invalidated
+	return changed
+}
+
+// bestChanged reacts to a loc-RIB change: records the FIB change and
+// (re)advertises to every peer subject to the timing rules.
+func (s *Speaker) bestChanged(st *destState) {
+	s.stats.BestChanges++
+	s.obs.RouteChanged(s.sched.Now(), s.id, st.table.Dest(), st.table.NextHop(), st.table.Best())
+	for _, peer := range s.peers {
+		s.advertise(st, peer)
+	}
+}
+
+// advertise reconciles what peer should be told about st's destination
+// with what it was last told, honouring SSLD, MRAI, WRATE, and Ghost
+// Flushing. It is called on every best change and on MRAI expiry.
+func (s *Speaker) advertise(st *destState, peer topology.Node) {
+	desired := st.table.Best()
+	if desired != nil && s.cfg.Export != nil {
+		learnedFrom := st.table.NextHop()
+		if learnedFrom == s.id {
+			learnedFrom = topology.None // self-originated
+		}
+		if !s.cfg.Export.ShouldExport(s.id, learnedFrom, peer) {
+			// Policy forbids this peer from using us: withdraw whatever
+			// we previously advertised (genuine withdrawal semantics).
+			desired = nil
+		}
+	}
+	ssldConverted := false
+	if desired != nil && s.cfg.Enhancements.SSLD && desired.Contains(peer) {
+		// The receiver appears in the path and would discard it; send the
+		// poison-reverse information as an (MRAI-exempt) withdrawal.
+		desired = nil
+		ssldConverted = true
+	}
+	adv := st.adv[peer]
+	blocked := s.mraiBlocked(st, peer)
+
+	if desired == nil {
+		if adv == nil {
+			// Nothing advertised, nothing to withdraw. A pending flag, if
+			// set, will re-evaluate when the timer releases.
+			return
+		}
+		// Genuine unreachability withdrawals bypass the MRAI timer
+		// (RFC 1771) unless WRATE. An SSLD-substituted withdrawal fully
+		// inherits the behaviour of the announcement it replaces —
+		// gated by the timer and (in the reset model) arming it when
+		// sent — unless SSLDImmediate is set; see Config.SSLD.
+		gated := s.cfg.Enhancements.WRATE ||
+			(ssldConverted && !s.cfg.Enhancements.SSLDImmediate)
+		if gated && blocked {
+			s.deferSend(st, peer)
+			return
+		}
+		s.send(peer, Update{Dest: st.table.Dest(), Withdraw: true})
+		if ssldConverted {
+			s.stats.SSLDConversions++
+		}
+		st.adv[peer] = nil
+		if gated {
+			s.noteRateLimitedSend(st, peer)
+		}
+		return
+	}
+
+	if blocked {
+		s.deferSend(st, peer)
+		s.maybeGhostFlush(st, peer, desired)
+		return
+	}
+	if desired.Equal(adv) {
+		return
+	}
+	s.send(peer, Update{Dest: st.table.Dest(), Path: desired})
+	st.adv[peer] = desired
+	s.noteRateLimitedSend(st, peer)
+}
+
+// mraiBlocked reports whether a rate-limited send toward peer must wait.
+func (s *Speaker) mraiBlocked(st *destState, peer topology.Node) bool {
+	if s.cfg.MRAI <= 0 {
+		return false
+	}
+	m := s.mraiFor(st, peer)
+	if !s.cfg.MRAIContinuous {
+		return m.armed
+	}
+	s.initContinuous(m)
+	delta := s.sched.Now() - m.phase
+	return delta < 0 || delta%m.interval != 0
+}
+
+// deferSend marks the (destination, peer) pair dirty and ensures a flush
+// will run when the timer releases: at expiry in the reset model (the
+// timer is armed whenever we are blocked), or at the next free-running
+// tick in the continuous model.
+func (s *Speaker) deferSend(st *destState, peer topology.Node) {
+	m := s.mraiFor(st, peer)
+	m.pending = true
+	if !s.cfg.MRAIContinuous || m.flushSet {
+		return
+	}
+	delta := s.sched.Now() - m.phase
+	var next des.Time
+	if delta < 0 {
+		next = m.phase
+	} else {
+		next = m.phase + (delta/m.interval+1)*m.interval
+	}
+	m.flushSet = true
+	m.handle = s.sched.MustAfter(next-s.sched.Now(), func() { s.tickFlush(st, peer) })
+}
+
+// noteRateLimitedSend records that a rate-limited update went out: in the
+// reset model this arms the timer; the continuous model free-runs.
+func (s *Speaker) noteRateLimitedSend(st *destState, peer topology.Node) {
+	if !s.cfg.MRAIContinuous {
+		s.armMRAI(st, peer)
+	}
+}
+
+// initContinuous lazily draws the free-running timer's jittered interval
+// and random phase.
+func (s *Speaker) initContinuous(m *mraiState) {
+	if m.continual {
+		return
+	}
+	factor := des.UniformFactor(s.rngJit, s.cfg.JitterMin, s.cfg.JitterMax)
+	m.interval = des.Time(float64(s.cfg.MRAI) * factor)
+	if m.interval <= 0 {
+		m.interval = 1
+	}
+	m.phase = des.Uniform(s.rngJit, 0, m.interval-1)
+	m.continual = true
+}
+
+// tickFlush runs at a continuous-model tick with a pending send.
+func (s *Speaker) tickFlush(st *destState, peer topology.Node) {
+	m := s.mraiFor(st, peer)
+	m.flushSet = false
+	if !m.pending {
+		return
+	}
+	m.pending = false
+	if !s.peerSet[peer] {
+		return
+	}
+	s.advertise(st, peer)
+}
+
+// maybeGhostFlush implements Ghost Flushing: if the node has switched to a
+// strictly longer path than the one this peer currently holds, and the
+// announcement is blocked by the MRAI timer, send an immediate withdrawal
+// so the peer flushes the obsolete (shorter) path now.
+func (s *Speaker) maybeGhostFlush(st *destState, peer topology.Node, desired routing.Path) {
+	if !s.cfg.Enhancements.GhostFlushing {
+		return
+	}
+	adv := st.adv[peer]
+	if adv == nil || desired.Len() <= adv.Len() {
+		return
+	}
+	s.send(peer, Update{Dest: st.table.Dest(), Withdraw: true})
+	s.stats.GhostFlushes++
+	st.adv[peer] = nil
+}
+
+// mraiExpired runs when the (st, peer) MRAI timer fires.
+func (s *Speaker) mraiExpired(st *destState, peer topology.Node) {
+	m := s.mraiFor(st, peer)
+	m.armed = false
+	if !m.pending {
+		return
+	}
+	m.pending = false
+	if !s.peerSet[peer] {
+		return
+	}
+	s.advertise(st, peer)
+}
+
+// armMRAI starts the per-(destination, peer) MRAI timer with jitter. A
+// zero MRAI disables rate limiting entirely.
+func (s *Speaker) armMRAI(st *destState, peer topology.Node) {
+	if s.cfg.MRAI <= 0 {
+		return
+	}
+	m := s.mraiFor(st, peer)
+	factor := des.UniformFactor(s.rngJit, s.cfg.JitterMin, s.cfg.JitterMax)
+	interval := des.Time(float64(s.cfg.MRAI) * factor)
+	if interval <= 0 {
+		return
+	}
+	m.armed = true
+	m.handle = s.sched.MustAfter(interval, func() { s.mraiExpired(st, peer) })
+}
+
+// send hands an update to the network and updates counters. A send that
+// races a link failure is silently dropped, like the TCP session it
+// models.
+func (s *Speaker) send(peer topology.Node, up Update) {
+	if err := s.net.Send(s.id, peer, up); err != nil {
+		return
+	}
+	now := s.sched.Now()
+	if up.Withdraw {
+		s.stats.WithdrawalsSent++
+	} else {
+		s.stats.AnnouncementsSent++
+	}
+	s.stats.LastUpdateSent = now
+	s.obs.UpdateSent(now, s.id, peer, up)
+}
+
+// destState returns (creating if needed) the state for dest.
+func (s *Speaker) destState(dest topology.Node) *destState {
+	st, ok := s.dests[dest]
+	if ok {
+		return st
+	}
+	st = &destState{
+		table: routing.NewTable(s.id, dest, s.policy),
+		adv:   make(map[topology.Node]routing.Path),
+		mrai:  make(map[topology.Node]*mraiState),
+		damp:  make(map[topology.Node]*dampState),
+	}
+	s.dests[dest] = st
+	i := sort.Search(len(s.destOrder), func(i int) bool { return s.destOrder[i] >= dest })
+	s.destOrder = append(s.destOrder, 0)
+	copy(s.destOrder[i+1:], s.destOrder[i:])
+	s.destOrder[i] = dest
+	return st
+}
+
+func (s *Speaker) mraiFor(st *destState, peer topology.Node) *mraiState {
+	m, ok := st.mrai[peer]
+	if !ok {
+		m = &mraiState{}
+		st.mrai[peer] = m
+	}
+	return m
+}
+
+var _ netsim.Handler = (*Speaker)(nil)

@@ -1,0 +1,358 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+func TestChainPropagation(t *testing.T) {
+	s := newSim(t, topology.Chain(4), 0, fastConfig(), 1)
+	wants := map[topology.Node]string{
+		0: "(0)",
+		1: "(1 0)",
+		2: "(2 1 0)",
+		3: "(3 2 1 0)",
+	}
+	for v, want := range wants {
+		if got := s.best(v).String(); got != want {
+			t.Errorf("node %d best = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestCliqueInitialConvergence(t *testing.T) {
+	s := newSim(t, topology.Clique(6), 0, fastConfig(), 2)
+	for v := topology.Node(1); v < 6; v++ {
+		tab := s.speakers[v].Table(0)
+		if tab.NextHop() != 0 {
+			t.Errorf("node %d next hop = %d, want 0 (direct)", v, tab.NextHop())
+		}
+		if tab.Best().Len() != 2 {
+			t.Errorf("node %d best = %v, want direct 2-hop path", v, tab.Best())
+		}
+	}
+}
+
+func TestOriginateWrongNode(t *testing.T) {
+	s := newSim(t, topology.Chain(2), 0, fastConfig(), 1)
+	if err := s.speakers[1].Originate(0); err == nil {
+		t.Error("node 1 originated destination 0")
+	}
+}
+
+func TestFigure1InitialState(t *testing.T) {
+	s := newSim(t, topology.Figure1(), 0, fastConfig(), 3)
+	// Figure 1(a): 4 uses the direct link; 5 and 6 forward through 4.
+	if got := s.best(4).String(); got != "(4 0)" {
+		t.Errorf("node 4 best = %s, want (4 0)", got)
+	}
+	if got := s.best(5).String(); got != "(5 4 0)" {
+		t.Errorf("node 5 best = %s, want (5 4 0)", got)
+	}
+	if got := s.best(6).String(); got != "(6 4 0)" {
+		t.Errorf("node 6 best = %s, want (6 4 0)", got)
+	}
+	// 5 keeps 6's path in its adj-RIB-in (the future ghost).
+	if raw, ok := s.speakers[5].Table(0).Received(6); !ok || raw.String() != "(6 4 0)" {
+		t.Errorf("node 5 adj-RIB-in from 6 = %v, %v", raw, ok)
+	}
+}
+
+func TestFigure1TransientLoopAndResolution(t *testing.T) {
+	s := newSim(t, topology.Figure1(), 0, fastConfig(), 3)
+	failAt := s.failLink(t, 4, 0)
+
+	// Final state must be loop-free shortest paths over the backup chain.
+	if got := s.best(6).String(); got != "(6 3 2 1 0)" {
+		t.Errorf("node 6 final best = %s, want (6 3 2 1 0)", got)
+	}
+	if got := s.best(5).String(); got != "(5 6 3 2 1 0)" {
+		t.Errorf("node 5 final best = %s, want (5 6 3 2 1 0)", got)
+	}
+	if got := s.best(4).String(); got != "(4 6 3 2 1 0)" {
+		t.Errorf("node 4 final best = %s, want (4 6 3 2 1 0)", got)
+	}
+
+	// Figure 1(b): immediately after the failure, 5 and 6 must have
+	// pointed at each other — the transient 2-node loop. Scan the FIB
+	// history for an instant where both held.
+	loopSeen := false
+	for _, r := range s.obs.fib {
+		if r.at < failAt {
+			continue
+		}
+		if s.obs.nextHopAt(5, r.at) == 6 && s.obs.nextHopAt(6, r.at) == 5 {
+			loopSeen = true
+			break
+		}
+	}
+	if !loopSeen {
+		t.Error("the canonical 5<->6 transient loop never formed")
+	}
+}
+
+func TestTDownCliqueEndsUnreachable(t *testing.T) {
+	s := newSim(t, topology.Clique(5), 0, fastConfig(), 4)
+	s.failNode(t, 0)
+	for v := topology.Node(1); v < 5; v++ {
+		if s.speakers[v].Table(0).HasRoute() {
+			t.Errorf("node %d still has a route after T_down: %v", v, s.best(v))
+		}
+	}
+	// Footnote 2: the final update in T_down is a withdrawal.
+	last := s.obs.sent[len(s.obs.sent)-1]
+	if !last.update.Withdraw {
+		t.Errorf("final T_down update = %v, want a withdrawal", last.update)
+	}
+}
+
+func TestTDownPathExplorationHappens(t *testing.T) {
+	// In a clique T_down, nodes must explore obsolete paths through each
+	// other before giving up — the root cause of the transient loops.
+	s := newSim(t, topology.Clique(5), 0, fastConfig(), 5)
+	before := s.totals().BestChanges
+	s.failNode(t, 0)
+	after := s.totals().BestChanges
+	// 4 surviving nodes, each must at least switch to a ghost path and
+	// then to unreachable: > 2 changes each on average.
+	if after-before < 8 {
+		t.Errorf("only %d best changes during T_down; expected path exploration", after-before)
+	}
+}
+
+func TestMRAISpacing(t *testing.T) {
+	// Announcements from one node to one peer must be spaced by at least
+	// JitterMin*MRAI; withdrawals are exempt (no WRATE).
+	cfg := DefaultConfig()
+	s := newSim(t, topology.Clique(6), 0, cfg, 6)
+	s.failNode(t, 0)
+	minGap := time.Duration(float64(cfg.MRAI) * cfg.JitterMin)
+	last := make(map[[2]topology.Node]des.Time)
+	seen := make(map[[2]topology.Node]bool)
+	for _, r := range s.obs.sent {
+		if r.update.Withdraw {
+			continue
+		}
+		key := [2]topology.Node{r.from, r.to}
+		if seen[key] {
+			if gap := r.at - last[key]; gap < minGap-time.Millisecond {
+				t.Fatalf("announcements %d->%d spaced %v apart, want >= %v", r.from, r.to, gap, minGap)
+			}
+		}
+		last[key] = r.at
+		seen[key] = true
+	}
+}
+
+func TestWithdrawalsBypassMRAI(t *testing.T) {
+	// Standard BGP: a withdrawal may follow an announcement immediately.
+	s := newSim(t, topology.Figure1(), 0, fastConfig(), 7)
+	s.failLink(t, 4, 0)
+	bypassed := false
+	lastSent := make(map[[2]topology.Node]des.Time)
+	for _, r := range s.obs.sent {
+		key := [2]topology.Node{r.from, r.to}
+		if prev, ok := lastSent[key]; ok && r.update.Withdraw {
+			if r.at-prev < DefaultMRAI/2 {
+				bypassed = true
+			}
+		}
+		lastSent[key] = r.at
+	}
+	if !bypassed {
+		t.Error("no withdrawal was ever sent inside the MRAI window")
+	}
+}
+
+func TestWRATEDelaysWithdrawals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enhancements.WRATE = true
+	s := newSim(t, topology.Clique(6), 0, cfg, 8)
+	s.failNode(t, 0)
+	minGap := time.Duration(float64(cfg.MRAI) * cfg.JitterMin)
+	last := make(map[[2]topology.Node]des.Time)
+	seen := make(map[[2]topology.Node]bool)
+	for _, r := range s.obs.sent {
+		key := [2]topology.Node{r.from, r.to}
+		if seen[key] {
+			if gap := r.at - last[key]; gap < minGap-time.Millisecond {
+				t.Fatalf("WRATE: updates %d->%d spaced %v apart, want >= %v (update %v)",
+					r.from, r.to, gap, minGap, r.update)
+			}
+		}
+		last[key] = r.at
+		seen[key] = true
+	}
+}
+
+func TestSSLDConvertsToWithdrawal(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Enhancements.SSLD = true
+	s := newSim(t, topology.Figure1(), 0, cfg, 9)
+	s.failLink(t, 4, 0)
+	if got := s.totals().SSLDConversions; got == 0 {
+		t.Error("SSLD never converted an announcement to a withdrawal")
+	}
+	// SSLD must never deliver a path containing its receiver.
+	for _, r := range s.obs.sent {
+		if !r.update.Withdraw && r.update.Path.Contains(r.to) {
+			t.Errorf("SSLD sent %v to %d, which the receiver must discard", r.update, r.to)
+		}
+	}
+	// Final routes are unaffected.
+	if got := s.best(5).String(); got != "(5 6 3 2 1 0)" {
+		t.Errorf("node 5 final best = %s", got)
+	}
+}
+
+func TestAssertionRemovesObsoletePaths(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Enhancements.Assertion = true
+	s := newSim(t, topology.Figure1(), 0, cfg, 10)
+	s.failLink(t, 4, 0)
+	if got := s.totals().AssertionInvalidations; got == 0 {
+		t.Error("Assertion never invalidated a path")
+	}
+	if got := s.best(5).String(); got != "(5 6 3 2 1 0)" {
+		t.Errorf("node 5 final best = %s", got)
+	}
+}
+
+func TestAssertionCliqueTDownFastConvergence(t *testing.T) {
+	// In a clique every node is directly connected to the origin, so
+	// Assertion converges T_down almost immediately: the PeerDown plus
+	// first withdrawals kill all ghost paths (§5: "all other nodes are
+	// directly connected to node 0, and thus can achieve immediate
+	// convergence").
+	run := func(e Enhancements) des.Time {
+		cfg := DefaultConfig()
+		cfg.Enhancements = e
+		s := newSim(t, topology.Clique(8), 0, cfg, 11)
+		at := s.failNode(t, 0)
+		return s.lastUpdateSent() - at
+	}
+	std := run(Enhancements{})
+	asrt := run(Enhancements{Assertion: true})
+	if asrt >= std {
+		t.Errorf("Assertion T_down convergence %v not faster than standard %v", asrt, std)
+	}
+	if asrt > 10*time.Second {
+		t.Errorf("Assertion clique T_down convergence = %v, want near-immediate", asrt)
+	}
+}
+
+func TestGhostFlushingFlushes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Enhancements.GhostFlushing = true
+	s := newSim(t, topology.Clique(6), 0, cfg, 12)
+	s.failNode(t, 0)
+	if got := s.totals().GhostFlushes; got == 0 {
+		t.Error("Ghost Flushing never flushed")
+	}
+}
+
+func TestGhostFlushingSpeedsCliqueTDown(t *testing.T) {
+	run := func(e Enhancements) des.Time {
+		cfg := DefaultConfig()
+		cfg.Enhancements = e
+		s := newSim(t, topology.Clique(8), 0, cfg, 13)
+		at := s.failNode(t, 0)
+		return s.lastUpdateSent() - at
+	}
+	std := run(Enhancements{})
+	gf := run(Enhancements{GhostFlushing: true})
+	if gf >= std {
+		t.Errorf("Ghost Flushing T_down convergence %v not faster than standard %v", gf, std)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, des.Time) {
+		s := newSim(t, topology.Clique(6), 0, DefaultConfig(), 42)
+		s.failNode(t, 0)
+		return s.totals(), s.lastUpdateSent()
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Errorf("same seed diverged:\n%+v @ %v\n%+v @ %v", s1, t1, s2, t2)
+	}
+}
+
+func TestSeedMatters(t *testing.T) {
+	run := func(seed int64) des.Time {
+		s := newSim(t, topology.Clique(6), 0, DefaultConfig(), seed)
+		s.failNode(t, 0)
+		return s.lastUpdateSent()
+	}
+	if run(1) == run(2) {
+		// Not impossible, but with jitter and processing randomness it is
+		// astronomically unlikely.
+		t.Error("different seeds produced identical convergence instants")
+	}
+}
+
+func TestMalformedUpdateDropped(t *testing.T) {
+	s := newSim(t, topology.Chain(2), 0, fastConfig(), 14)
+	sp := s.speakers[1]
+	before := sp.Stats().MalformedDropped
+	// A path not starting with the sender.
+	sp.Deliver(0, Update{Dest: 0, Path: pathOf(9, 0)})
+	// A non-Update payload.
+	sp.Deliver(0, "garbage")
+	s.sched.Run()
+	if got := sp.Stats().MalformedDropped - before; got != 2 {
+		t.Errorf("MalformedDropped = %d, want 2", got)
+	}
+}
+
+func TestProcessingDelayIsSerial(t *testing.T) {
+	// Two updates delivered back-to-back must be processed at least
+	// ProcDelayMin apart: the second waits for the first.
+	cfg := fastConfig()
+	s := newSim(t, topology.Chain(3), 0, cfg, 15)
+	sp := s.speakers[1]
+	start := s.sched.Now()
+	sp.Deliver(0, Update{Dest: 0, Path: pathOf(0)})
+	sp.Deliver(2, Update{Dest: 0, Withdraw: true})
+	busy := sp.busyUntil
+	if busy-start < 2*cfg.ProcDelayMin {
+		t.Errorf("two queued messages busy for %v, want >= %v", busy-start, 2*cfg.ProcDelayMin)
+	}
+	s.sched.Run()
+}
+
+func TestZeroMRAIDisablesTimer(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MRAI = 0
+	s := newSim(t, topology.Clique(5), 0, cfg, 16)
+	at := s.failNode(t, 0)
+	// Without MRAI, convergence is bounded by processing and propagation
+	// only: well under a second per exploration round, a few seconds in
+	// total for n=5.
+	conv := s.lastUpdateSent() - at
+	if conv > 30*time.Second {
+		t.Errorf("MRAI-free convergence took %v", conv)
+	}
+}
+
+func TestPeerDownCancelsTimers(t *testing.T) {
+	s := newSim(t, topology.Chain(2), 0, fastConfig(), 17)
+	s.failLink(t, 0, 1)
+	if got := s.speakers[1].Peers(); len(got) != 0 {
+		t.Errorf("node 1 peers after failure = %v", got)
+	}
+	if s.speakers[1].Table(0).HasRoute() {
+		t.Error("node 1 kept a route through a dead session")
+	}
+}
+
+func TestTableUnknownDest(t *testing.T) {
+	s := newSim(t, topology.Chain(2), 0, fastConfig(), 18)
+	if s.speakers[1].Table(99) != nil {
+		t.Error("Table(unknown) != nil")
+	}
+}

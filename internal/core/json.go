@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONSummary is the machine-readable form of a Report, with durations in
+// seconds and only the fields downstream tooling consumes. Field names
+// form a stable contract; see the json tags.
+type JSONSummary struct {
+	Topology    string  `json:"topology"`
+	Nodes       int     `json:"nodes"`
+	Event       string  `json:"event"`
+	Enhancement string  `json:"enhancement"`
+	MRAISeconds float64 `json:"mraiSeconds"`
+	Seed        int64   `json:"seed"`
+
+	ConvergenceSeconds     float64 `json:"convergenceSeconds"`
+	LoopingDurationSeconds float64 `json:"loopingDurationSeconds"`
+	TTLExhaustions         int     `json:"ttlExhaustions"`
+	PacketsSent            int     `json:"packetsSent"`
+	PacketsDelivered       int     `json:"packetsDelivered"`
+	PacketsNoRoute         int     `json:"packetsNoRoute"`
+	LoopingRatio           float64 `json:"loopingRatio"`
+	LoopCoverage           float64 `json:"loopCoverage"`
+	MaxConcurrentLoops     int     `json:"maxConcurrentLoops"`
+
+	Loops []JSONLoop `json:"loops"`
+
+	UpdatesSent      int `json:"updatesSent"`
+	Announcements    int `json:"announcements"`
+	Withdrawals      int `json:"withdrawals"`
+	BoundViolations  int `json:"boundViolations"`
+	RoutesSuppressed int `json:"routesSuppressed"`
+}
+
+// JSONLoop is one transient-loop interval in JSON form.
+type JSONLoop struct {
+	Nodes           []int   `json:"nodes"`
+	StartSeconds    float64 `json:"startSeconds"`
+	DurationSeconds float64 `json:"durationSeconds"`
+	Resolved        bool    `json:"resolved"`
+}
+
+// JSON returns the report's machine-readable summary.
+func (r *Report) JSON() JSONSummary {
+	out := JSONSummary{
+		Topology:    r.Topology,
+		Nodes:       r.Nodes,
+		Event:       r.Event.String(),
+		Enhancement: r.Enhancement,
+		MRAISeconds: r.MRAI.Seconds(),
+		Seed:        r.Seed,
+
+		ConvergenceSeconds:     r.ConvergenceTime.Seconds(),
+		LoopingDurationSeconds: r.LoopingDuration.Seconds(),
+		TTLExhaustions:         r.TTLExhaustions,
+		PacketsSent:            r.PacketsSent,
+		PacketsDelivered:       r.Replay.Delivered,
+		PacketsNoRoute:         r.Replay.NoRoute,
+		LoopingRatio:           r.LoopingRatio,
+		LoopCoverage:           r.LoopCoverage,
+		MaxConcurrentLoops:     r.MaxConcurrentLoops,
+
+		UpdatesSent:      r.UpdatesSent,
+		Announcements:    r.Announcements,
+		Withdrawals:      r.Withdrawals,
+		BoundViolations:  len(r.BoundViolations),
+		RoutesSuppressed: r.RoutesSuppressed,
+	}
+	for _, l := range r.Loops {
+		jl := JSONLoop{
+			StartSeconds:    l.Start.Seconds(),
+			DurationSeconds: l.Duration().Seconds(),
+			Resolved:        l.Resolved,
+		}
+		for _, v := range l.Nodes {
+			jl.Nodes = append(jl.Nodes, int(v))
+		}
+		out.Loops = append(out.Loops, jl)
+	}
+	return out
+}
+
+// WriteJSON writes the indented JSON summary to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSON())
+}

@@ -1,0 +1,151 @@
+// Package dataplane measures packet forwarding over the time-varying FIBs
+// produced by the control-plane simulation.
+//
+// The paper's data plane is deliberately feedback-free: packet rates are
+// low enough that queueing is negligible and forwarding never influences
+// routing (§4.2). This package exploits that: the control plane records a
+// timestamped FIB-change history, and packets are *replayed* against that
+// history afterwards — an exact reconstruction of per-packet forwarding at
+// a small fraction of the cost of simulating every hop as a DES event.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// History is the timestamped FIB-change log for one destination across all
+// nodes. Before a node's first recorded change its next hop is
+// topology.None (no route).
+type History struct {
+	times [][]des.Time
+	hops  [][]topology.Node
+}
+
+// NewHistory creates an empty history for a topology of numNodes nodes.
+func NewHistory(numNodes int) *History {
+	return &History{
+		times: make([][]des.Time, numNodes),
+		hops:  make([][]topology.Node, numNodes),
+	}
+}
+
+// NumNodes returns the number of nodes the history covers.
+func (h *History) NumNodes() int { return len(h.times) }
+
+// Record appends a FIB change: node's next hop becomes nexthop at time
+// now. Records must arrive in nondecreasing time order per node (the DES
+// guarantees this). Consecutive records with an unchanged next hop are
+// coalesced; a same-instant record overwrites the previous one (only the
+// final state of an instant is ever observable by packets).
+func (h *History) Record(now des.Time, node, nexthop topology.Node) error {
+	if node < 0 || int(node) >= len(h.times) {
+		return fmt.Errorf("dataplane: record for node %d out of range", node)
+	}
+	ts := h.times[node]
+	if k := len(ts); k > 0 {
+		if now < ts[k-1] {
+			return fmt.Errorf("dataplane: out-of-order record for node %d: %v after %v", node, now, ts[k-1])
+		}
+		if now == ts[k-1] {
+			h.hops[node][k-1] = nexthop
+			h.coalesce(node)
+			return nil
+		}
+		if h.hops[node][k-1] == nexthop {
+			return nil // no observable change
+		}
+	} else if nexthop == topology.None {
+		return nil // "no route" is already the implicit initial state
+	}
+	h.times[node] = append(h.times[node], now)
+	h.hops[node] = append(h.hops[node], nexthop)
+	return nil
+}
+
+// coalesce drops the final record if it duplicates its predecessor (can
+// happen after a same-instant overwrite).
+func (h *History) coalesce(node topology.Node) {
+	k := len(h.times[node])
+	if k >= 2 && h.hops[node][k-1] == h.hops[node][k-2] {
+		h.times[node] = h.times[node][:k-1]
+		h.hops[node] = h.hops[node][:k-1]
+	} else if k == 1 && h.hops[node][0] == topology.None {
+		h.times[node] = h.times[node][:0]
+		h.hops[node] = h.hops[node][:0]
+	}
+}
+
+// NextHop returns node's forwarding next hop as of time t.
+func (h *History) NextHop(node topology.Node, t des.Time) topology.Node {
+	if node < 0 || int(node) >= len(h.times) {
+		return topology.None
+	}
+	ts := h.times[node]
+	// Index of the last record with time <= t.
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] > t }) - 1
+	if i < 0 {
+		return topology.None
+	}
+	return h.hops[node][i]
+}
+
+// Changes returns the number of recorded FIB changes for node.
+func (h *History) Changes(node topology.Node) int {
+	if node < 0 || int(node) >= len(h.times) {
+		return 0
+	}
+	return len(h.times[node])
+}
+
+// ChangesSince returns the number of recorded FIB changes for node at or
+// after time t.
+func (h *History) ChangesSince(node topology.Node, t des.Time) int {
+	if node < 0 || int(node) >= len(h.times) {
+		return 0
+	}
+	ts := h.times[node]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= t })
+	return len(ts) - i
+}
+
+// TotalChanges returns the number of recorded FIB changes across all nodes.
+func (h *History) TotalChanges() int {
+	n := 0
+	for _, ts := range h.times {
+		n += len(ts)
+	}
+	return n
+}
+
+// ChangeTimes returns the sorted, de-duplicated instants at which any
+// node's FIB changed. This is the snapshot grid for loop analysis.
+func (h *History) ChangeTimes() []des.Time {
+	var all []des.Time
+	for _, ts := range h.times {
+		all = append(all, ts...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for i, t := range all {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Snapshot fills next (len >= NumNodes) with every node's next hop at time
+// t and returns it; a nil next allocates.
+func (h *History) Snapshot(t des.Time, next []topology.Node) []topology.Node {
+	if next == nil || len(next) < len(h.times) {
+		next = make([]topology.Node, len(h.times))
+	}
+	for v := range h.times {
+		next[v] = h.NextHop(topology.Node(v), t)
+	}
+	return next[:len(h.times)]
+}

@@ -1,0 +1,161 @@
+package dataplane
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+func mustRecord(t *testing.T, h *History, at des.Time, node, nh topology.Node) {
+	t.Helper()
+	if err := h.Record(at, node, nh); err != nil {
+		t.Fatalf("Record(%v, %d, %d): %v", at, node, nh, err)
+	}
+}
+
+func TestHistoryLookup(t *testing.T) {
+	h := NewHistory(3)
+	mustRecord(t, h, 10*time.Second, 1, 2)
+	mustRecord(t, h, 20*time.Second, 1, 0)
+	tests := []struct {
+		at   des.Time
+		want topology.Node
+	}{
+		{0, topology.None},
+		{9 * time.Second, topology.None},
+		{10 * time.Second, 2},
+		{15 * time.Second, 2},
+		{20 * time.Second, 0},
+		{time.Hour, 0},
+	}
+	for _, tt := range tests {
+		if got := h.NextHop(1, tt.at); got != tt.want {
+			t.Errorf("NextHop(1, %v) = %d, want %d", tt.at, got, tt.want)
+		}
+	}
+	if got := h.NextHop(0, time.Hour); got != topology.None {
+		t.Errorf("unrecorded node next hop = %d, want None", got)
+	}
+}
+
+func TestHistoryCoalescesUnchanged(t *testing.T) {
+	h := NewHistory(2)
+	mustRecord(t, h, time.Second, 0, 1)
+	mustRecord(t, h, 2*time.Second, 0, 1) // same hop: no new record
+	if got := h.Changes(0); got != 1 {
+		t.Errorf("Changes = %d, want 1", got)
+	}
+}
+
+func TestHistorySameInstantOverwrites(t *testing.T) {
+	h := NewHistory(2)
+	mustRecord(t, h, time.Second, 0, 1)
+	mustRecord(t, h, 5*time.Second, 0, topology.None)
+	mustRecord(t, h, 5*time.Second, 0, 1) // back to 1 within the instant
+	// The None blip at t=5s is unobservable; the record must coalesce
+	// back to a single entry.
+	if got := h.Changes(0); got != 1 {
+		t.Errorf("Changes = %d, want 1 after same-instant overwrite", got)
+	}
+	if got := h.NextHop(0, 5*time.Second); got != 1 {
+		t.Errorf("NextHop at overwritten instant = %d, want 1", got)
+	}
+}
+
+func TestHistoryLeadingNoneIgnored(t *testing.T) {
+	h := NewHistory(2)
+	mustRecord(t, h, time.Second, 0, topology.None)
+	if got := h.Changes(0); got != 0 {
+		t.Errorf("Changes = %d, want 0 (None is the implicit initial state)", got)
+	}
+}
+
+func TestHistoryRejectsOutOfOrder(t *testing.T) {
+	h := NewHistory(2)
+	mustRecord(t, h, 10*time.Second, 0, 1)
+	if err := h.Record(5*time.Second, 0, topology.None); err == nil {
+		t.Error("out-of-order record accepted")
+	}
+	if err := h.Record(time.Second, 5, 0); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestChangeTimes(t *testing.T) {
+	h := NewHistory(3)
+	mustRecord(t, h, 2*time.Second, 0, 1)
+	mustRecord(t, h, time.Second, 1, 2)
+	mustRecord(t, h, 2*time.Second, 1, 0)
+	got := h.ChangeTimes()
+	want := []des.Time{time.Second, 2 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("ChangeTimes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ChangeTimes = %v, want %v", got, want)
+		}
+	}
+	if h.TotalChanges() != 3 {
+		t.Errorf("TotalChanges = %d, want 3", h.TotalChanges())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	h := NewHistory(3)
+	mustRecord(t, h, time.Second, 0, 1)
+	mustRecord(t, h, time.Second, 1, 2)
+	snap := h.Snapshot(time.Second, nil)
+	if snap[0] != 1 || snap[1] != 2 || snap[2] != topology.None {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	// Reuse path.
+	buf := make([]topology.Node, 3)
+	snap2 := h.Snapshot(0, buf)
+	for _, nh := range snap2 {
+		if nh != topology.None {
+			t.Errorf("Snapshot(0) = %v, want all None", snap2)
+		}
+	}
+}
+
+// TestPropertyLookupMatchesLinearScan cross-checks the binary-search lookup
+// against a naive linear reconstruction on random change logs.
+func TestPropertyLookupMatchesLinearScan(t *testing.T) {
+	f := func(deltasMs []uint8, hops []uint8, queryMs uint16) bool {
+		if len(deltasMs) > len(hops) {
+			deltasMs = deltasMs[:len(hops)]
+		} else {
+			hops = hops[:len(deltasMs)]
+		}
+		h := NewHistory(2)
+		type rec struct {
+			at des.Time
+			nh topology.Node
+		}
+		var log []rec
+		at := des.Time(0)
+		for i := range deltasMs {
+			at += time.Duration(deltasMs[i]) * time.Millisecond
+			nh := topology.Node(int(hops[i])%3) - 1 // -1 (None), 0, 1
+			if err := h.Record(at, 0, nh); err != nil {
+				return false
+			}
+			log = append(log, rec{at: at, nh: nh})
+		}
+		q := time.Duration(queryMs) * time.Millisecond
+		want := topology.None
+		for _, r := range log {
+			if r.at <= q {
+				want = r.nh
+			}
+		}
+		return h.NextHop(0, q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

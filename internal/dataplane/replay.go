@@ -1,0 +1,224 @@
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// Paper data-plane defaults (§4.2).
+const (
+	// DefaultTTL is the initial packet TTL; with 2 ms hops a packet lives
+	// 128 * 2ms = 256 ms before TTL exhaustion.
+	DefaultTTL = 128
+	// DefaultInterval is the inter-packet gap of each source's constant
+	// rate stream (10 packets per second).
+	DefaultInterval = 100 * time.Millisecond
+)
+
+// ReplayConfig describes the constant-rate packet streams to replay over a
+// FIB history.
+type ReplayConfig struct {
+	// Dest is the destination node all packets are addressed to.
+	Dest topology.Node
+	// Sources lists the sending nodes; the destination itself is skipped
+	// if present ("every other AS has one host").
+	Sources []topology.Node
+	// Start and End bound the send window: packets leave each source at
+	// Start, Start+Interval, ... strictly before End.
+	Start, End des.Time
+	// Interval is the per-source inter-packet gap (DefaultInterval if 0).
+	Interval time.Duration
+	// TTL is the initial TTL (DefaultTTL if 0).
+	TTL int
+	// LinkDelay is the per-hop propagation delay (2 ms if 0).
+	LinkDelay time.Duration
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.TTL == 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+func (c ReplayConfig) validate() error {
+	if c.End < c.Start {
+		return fmt.Errorf("dataplane: send window ends (%v) before it starts (%v)", c.End, c.Start)
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("dataplane: non-positive packet interval %v", c.Interval)
+	}
+	if c.TTL <= 0 {
+		return fmt.Errorf("dataplane: non-positive TTL %d", c.TTL)
+	}
+	if c.LinkDelay <= 0 {
+		return fmt.Errorf("dataplane: non-positive link delay %v", c.LinkDelay)
+	}
+	return nil
+}
+
+// ReplayResult aggregates the fate of every replayed packet.
+type ReplayResult struct {
+	// Sent counts packets that left a source inside the window.
+	Sent int
+	// Delivered counts packets that reached the destination.
+	Delivered int
+	// NoRoute counts packets dropped at a node with no route.
+	NoRoute int
+	// TTLExhausted counts packets dropped by TTL reaching zero — the
+	// paper's loop indicator.
+	TTLExhausted int
+	// LoopEncounters counts packets that revisited a node at least once
+	// (whether or not they later escaped).
+	LoopEncounters int
+	// DeliveredAfterLoop counts packets that revisited a node and still
+	// reached the destination (escaped a transient loop).
+	DeliveredAfterLoop int
+	// FirstExhaustion and LastExhaustion bound the observed TTL
+	// exhaustions; valid only when TTLExhausted > 0. The paper's "overall
+	// looping duration" is LastExhaustion - FirstExhaustion.
+	FirstExhaustion, LastExhaustion des.Time
+	// TotalHops counts link traversals, a proxy for the network resources
+	// consumed by looping packets.
+	TotalHops int
+	// DeliveredHops and EscapedHops aggregate the hop counts of delivered
+	// packets (all of them, and the subset that escaped a loop first).
+	// With constant link delay, hops x LinkDelay is the one-way delay, so
+	// these support the extra-delay analysis of Hengartner et al. (packets
+	// escaping a loop were delayed by an additional 25-1300 ms).
+	DeliveredHops HopStats
+	EscapedHops   HopStats
+}
+
+// HopStats aggregates per-packet hop counts.
+type HopStats struct {
+	Count int
+	Total int
+	Max   int
+}
+
+// Mean returns the average hop count (0 for an empty sample).
+func (h HopStats) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Total) / float64(h.Count)
+}
+
+func (h *HopStats) add(hops int) {
+	h.Count++
+	h.Total += hops
+	if hops > h.Max {
+		h.Max = hops
+	}
+}
+
+// OverallLoopingDuration is the paper's §4.2 metric: the span from the
+// first TTL exhaustion to the last (zero when no packet exhausted).
+func (r ReplayResult) OverallLoopingDuration() time.Duration {
+	if r.TTLExhausted == 0 {
+		return 0
+	}
+	return r.LastExhaustion - r.FirstExhaustion
+}
+
+// LoopingRatio is the paper's §4.2 metric: the fraction of packets sent
+// during the window that died of TTL exhaustion — the probability that a
+// packet sent during convergence encounters looping.
+func (r ReplayResult) LoopingRatio() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.TTLExhausted) / float64(r.Sent)
+}
+
+// Replay forwards every configured packet over the FIB history and
+// aggregates outcomes. The walk is exact: each hop consults the FIB of the
+// current node at the packet's current virtual time, takes LinkDelay, and
+// costs one TTL unit.
+func Replay(h *History, cfg ReplayConfig) (ReplayResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return ReplayResult{}, err
+	}
+	var res ReplayResult
+	w := walker{
+		h:       h,
+		visited: make([]uint32, h.NumNodes()),
+	}
+	for _, src := range cfg.Sources {
+		if src == cfg.Dest {
+			continue
+		}
+		for at := cfg.Start; at < cfg.End; at += cfg.Interval {
+			w.walk(&res, cfg, src, at)
+		}
+	}
+	return res, nil
+}
+
+// walker carries the epoch-stamped visited array reused across packets so
+// that revisit detection is allocation-free.
+type walker struct {
+	h       *History
+	visited []uint32
+	epoch   uint32
+}
+
+func (w *walker) walk(res *ReplayResult, cfg ReplayConfig, src topology.Node, at des.Time) {
+	res.Sent++
+	w.epoch++
+	pos := src
+	t := at
+	ttl := cfg.TTL
+	looped := false
+	hops := 0
+	for {
+		if pos == cfg.Dest {
+			res.Delivered++
+			res.DeliveredHops.add(hops)
+			if looped {
+				res.DeliveredAfterLoop++
+				res.EscapedHops.add(hops)
+			}
+			return
+		}
+		if w.visited[pos] == w.epoch {
+			if !looped {
+				looped = true
+				res.LoopEncounters++
+			}
+		} else {
+			w.visited[pos] = w.epoch
+		}
+		next := w.h.NextHop(pos, t)
+		if next == topology.None {
+			res.NoRoute++
+			return
+		}
+		if ttl == 0 {
+			res.TTLExhausted++
+			if res.TTLExhausted == 1 || t < res.FirstExhaustion {
+				res.FirstExhaustion = t
+			}
+			if t > res.LastExhaustion {
+				res.LastExhaustion = t
+			}
+			return
+		}
+		ttl--
+		t += cfg.LinkDelay
+		pos = next
+		res.TotalHops++
+		hops++
+	}
+}

@@ -1,0 +1,152 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bgploop/internal/topology"
+)
+
+// buildRandomHistory produces a random but causally-valid FIB history for
+// n nodes over the given span.
+func buildRandomHistory(rng *rand.Rand, n int, span time.Duration) *History {
+	h := NewHistory(n)
+	for v := 1; v < n; v++ { // node 0 is the destination: no FIB entries
+		at := time.Duration(0)
+		changes := rng.Intn(6)
+		for c := 0; c < changes; c++ {
+			at += time.Duration(rng.Int63n(int64(span) / 6))
+			nh := topology.Node(rng.Intn(n+1)) - 1 // -1 = None
+			// Records never fail here: times are nondecreasing and nodes
+			// in range by construction.
+			if err := h.Record(at, topology.Node(v), nh); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return h
+}
+
+// TestPropertyReplayConservation replays random packet workloads over
+// random FIB histories and checks the bookkeeping invariants that every
+// figure in the study depends on.
+func TestPropertyReplayConservation(t *testing.T) {
+	f := func(seed int64, nodesSeed, ttlSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nodesSeed)%8
+		h := buildRandomHistory(rng, n, 2*time.Second)
+		var sources []topology.Node
+		for v := 1; v < n; v++ {
+			sources = append(sources, topology.Node(v))
+		}
+		ttl := 2 + int(ttlSeed)%64
+		cfg := ReplayConfig{
+			Dest:      0,
+			Sources:   sources,
+			Start:     0,
+			End:       2 * time.Second,
+			Interval:  250 * time.Millisecond,
+			TTL:       ttl,
+			LinkDelay: 2 * time.Millisecond,
+		}
+		res, err := Replay(h, cfg)
+		if err != nil {
+			return false
+		}
+		// Conservation.
+		if res.Delivered+res.NoRoute+res.TTLExhausted != res.Sent {
+			return false
+		}
+		// Expected send count: sources x ceil(window/interval).
+		if res.Sent != len(sources)*8 {
+			return false
+		}
+		// Exhaustion timing: a packet dies exactly TTL hops after its
+		// send instant, so the first exhaustion cannot precede
+		// Start + TTL*linkDelay, and the last cannot exceed
+		// (End - interval) + TTL*linkDelay.
+		if res.TTLExhausted > 0 {
+			lifetime := time.Duration(ttl) * cfg.LinkDelay
+			if res.FirstExhaustion < cfg.Start+lifetime {
+				return false
+			}
+			if res.LastExhaustion > cfg.End-cfg.Interval+lifetime {
+				return false
+			}
+		}
+		// Delivered hop counts are bounded by TTL; escaped are a subset.
+		if res.DeliveredHops.Max > ttl || res.EscapedHops.Count > res.Delivered {
+			return false
+		}
+		if res.DeliveredHops.Count != res.Delivered || res.EscapedHops.Count != res.DeliveredAfterLoop {
+			return false
+		}
+		// Loop encounters can only come from packets that revisited.
+		return res.LoopEncounters <= res.Sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyReplayMatchesStepwiseWalk cross-checks the production walker
+// against an independent re-implementation on random histories.
+func TestPropertyReplayMatchesStepwiseWalk(t *testing.T) {
+	naive := func(h *History, dest, src topology.Node, at time.Duration, ttl int, link time.Duration) (delivered, noroute, exhausted bool) {
+		pos, t := src, at
+		for {
+			if pos == dest {
+				return true, false, false
+			}
+			next := h.NextHop(pos, t)
+			if next == topology.None {
+				return false, true, false
+			}
+			if ttl == 0 {
+				return false, false, true
+			}
+			ttl--
+			t += link
+			pos = next
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		h := buildRandomHistory(rng, n, time.Second)
+		src := topology.Node(1 + rng.Intn(n-1))
+		cfg := ReplayConfig{
+			Dest:      0,
+			Sources:   []topology.Node{src},
+			Start:     0,
+			End:       time.Second,
+			Interval:  100 * time.Millisecond,
+			TTL:       16,
+			LinkDelay: 2 * time.Millisecond,
+		}
+		res, err := Replay(h, cfg)
+		if err != nil {
+			return false
+		}
+		var wantDelivered, wantNoRoute, wantExhausted int
+		for at := cfg.Start; at < cfg.End; at += cfg.Interval {
+			d, nr, ex := naive(h, cfg.Dest, src, at, cfg.TTL, cfg.LinkDelay)
+			switch {
+			case d:
+				wantDelivered++
+			case nr:
+				wantNoRoute++
+			case ex:
+				wantExhausted++
+			}
+		}
+		return res.Delivered == wantDelivered &&
+			res.NoRoute == wantNoRoute &&
+			res.TTLExhausted == wantExhausted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,307 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"bgploop/internal/topology"
+)
+
+// stableChain builds a history for 0<-1<-2<-...: every node's next hop is
+// node-1 from t=0.
+func stableChain(t *testing.T, n int) *History {
+	t.Helper()
+	h := NewHistory(n)
+	for v := 1; v < n; v++ {
+		mustRecord(t, h, 0, topology.Node(v), topology.Node(v-1))
+	}
+	return h
+}
+
+func TestReplayDelivery(t *testing.T) {
+	h := stableChain(t, 4)
+	res, err := Replay(h, ReplayConfig{
+		Dest:    0,
+		Sources: []topology.Node{1, 2, 3},
+		Start:   0,
+		End:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 10; res.Sent != want {
+		t.Errorf("Sent = %d, want %d", res.Sent, want)
+	}
+	if res.Delivered != res.Sent {
+		t.Errorf("Delivered = %d, want all %d", res.Delivered, res.Sent)
+	}
+	if res.TTLExhausted != 0 || res.NoRoute != 0 || res.LoopEncounters != 0 {
+		t.Errorf("unexpected drops: %+v", res)
+	}
+	// 1 hop + 2 hops + 3 hops per round, 10 rounds.
+	if want := 10 * 6; res.TotalHops != want {
+		t.Errorf("TotalHops = %d, want %d", res.TotalHops, want)
+	}
+}
+
+func TestReplaySkipsDestSource(t *testing.T) {
+	h := stableChain(t, 2)
+	res, err := Replay(h, ReplayConfig{
+		Dest:    0,
+		Sources: []topology.Node{0, 1},
+		Start:   0,
+		End:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 1 {
+		t.Errorf("Sent = %d, want 1 (destination must not send to itself)", res.Sent)
+	}
+}
+
+func TestReplayNoRoute(t *testing.T) {
+	h := NewHistory(3)
+	mustRecord(t, h, 0, 2, 1) // 2 -> 1, but 1 has no route
+	res, err := Replay(h, ReplayConfig{
+		Dest:    0,
+		Sources: []topology.Node{2},
+		Start:   0,
+		End:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoRoute != 1 || res.Delivered != 0 {
+		t.Errorf("result = %+v, want 1 NoRoute", res)
+	}
+}
+
+func TestReplayTTLExhaustionInLoop(t *testing.T) {
+	// Permanent 2-node loop between 1 and 2.
+	h := NewHistory(3)
+	mustRecord(t, h, 0, 1, 2)
+	mustRecord(t, h, 0, 2, 1)
+	res, err := Replay(h, ReplayConfig{
+		Dest:    0,
+		Sources: []topology.Node{1},
+		Start:   0,
+		End:     time.Second,
+		TTL:     128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTLExhausted != res.Sent {
+		t.Errorf("TTLExhausted = %d, want all %d packets", res.TTLExhausted, res.Sent)
+	}
+	if res.LoopEncounters != res.Sent {
+		t.Errorf("LoopEncounters = %d, want %d", res.LoopEncounters, res.Sent)
+	}
+	// First packet leaves at t=0 and dies after 128 hops of 2 ms.
+	if want := 128 * 2 * time.Millisecond; res.FirstExhaustion != want {
+		t.Errorf("FirstExhaustion = %v, want %v", res.FirstExhaustion, want)
+	}
+	// Last packet leaves at t=900ms.
+	if want := 900*time.Millisecond + 256*time.Millisecond; res.LastExhaustion != want {
+		t.Errorf("LastExhaustion = %v, want %v", res.LastExhaustion, want)
+	}
+	if got := res.OverallLoopingDuration(); got != 900*time.Millisecond {
+		t.Errorf("OverallLoopingDuration = %v, want 900ms", got)
+	}
+	if got := res.LoopingRatio(); got != 1.0 {
+		t.Errorf("LoopingRatio = %v, want 1.0", got)
+	}
+}
+
+func TestReplayEscapeFromTransientLoop(t *testing.T) {
+	// Loop between 1 and 2 until t=100ms, when node 2 repairs to 0. A
+	// packet sent at t=0 bounces, then escapes and is delivered.
+	h := NewHistory(3)
+	mustRecord(t, h, 0, 1, 2)
+	mustRecord(t, h, 0, 2, 1)
+	mustRecord(t, h, 100*time.Millisecond, 2, 0)
+	res, err := Replay(h, ReplayConfig{
+		Dest:     0,
+		Sources:  []topology.Node{1},
+		Start:    0,
+		End:      time.Millisecond, // exactly one packet
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 1 || res.Delivered != 1 {
+		t.Fatalf("result = %+v, want 1 delivered", res)
+	}
+	if res.LoopEncounters != 1 || res.DeliveredAfterLoop != 1 {
+		t.Errorf("loop escape not detected: %+v", res)
+	}
+	if res.TTLExhausted != 0 {
+		t.Errorf("escaped packet counted as exhausted: %+v", res)
+	}
+}
+
+func TestReplayShortTTLMissesShortLoop(t *testing.T) {
+	// §4.2: if convergence is very short a looping packet can escape
+	// before TTL exhaustion. With a transient loop lasting less than
+	// TTL*delay the packet escapes; with a tiny TTL it is caught.
+	h := NewHistory(3)
+	mustRecord(t, h, 0, 1, 2)
+	mustRecord(t, h, 0, 2, 1)
+	mustRecord(t, h, 20*time.Millisecond, 2, 0)
+	cfg := ReplayConfig{
+		Dest:     0,
+		Sources:  []topology.Node{1},
+		Start:    0,
+		End:      time.Millisecond,
+		Interval: time.Millisecond,
+	}
+	// Default TTL 128 -> lifetime 256 ms > 20 ms loop: escapes.
+	res, err := Replay(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTLExhausted != 0 || res.Delivered != 1 {
+		t.Errorf("long-TTL packet should escape: %+v", res)
+	}
+	// TTL 5 -> lifetime 10 ms < 20 ms loop: caught.
+	cfg.TTL = 5
+	res, err = Replay(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTLExhausted != 1 {
+		t.Errorf("short-TTL packet should exhaust: %+v", res)
+	}
+}
+
+func TestReplayHopStats(t *testing.T) {
+	h := stableChain(t, 4)
+	res, err := Replay(h, ReplayConfig{
+		Dest:     0,
+		Sources:  []topology.Node{1, 3},
+		Start:    0,
+		End:      time.Millisecond,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One packet from node 1 (1 hop) and one from node 3 (3 hops).
+	if res.DeliveredHops.Count != 2 || res.DeliveredHops.Total != 4 || res.DeliveredHops.Max != 3 {
+		t.Errorf("DeliveredHops = %+v", res.DeliveredHops)
+	}
+	if res.DeliveredHops.Mean() != 2 {
+		t.Errorf("mean hops = %v, want 2", res.DeliveredHops.Mean())
+	}
+	if res.EscapedHops.Count != 0 {
+		t.Errorf("EscapedHops = %+v, want empty", res.EscapedHops)
+	}
+}
+
+func TestReplayEscapedHopStats(t *testing.T) {
+	// Loop 1<->2 until 100ms, then 2 repairs to 0: the packet bounces and
+	// escapes, accumulating extra hops.
+	h := NewHistory(3)
+	mustRecord(t, h, 0, 1, 2)
+	mustRecord(t, h, 0, 2, 1)
+	mustRecord(t, h, 100*time.Millisecond, 2, 0)
+	res, err := Replay(h, ReplayConfig{
+		Dest:     0,
+		Sources:  []topology.Node{1},
+		Start:    0,
+		End:      time.Millisecond,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EscapedHops.Count != 1 {
+		t.Fatalf("EscapedHops = %+v, want one packet", res.EscapedHops)
+	}
+	// Direct delivery would take 2 hops (1->2->0); the loop added ~50
+	// round trips before the 100 ms repair.
+	if res.EscapedHops.Max < 10 {
+		t.Errorf("escaped packet hops = %d, expected a loop's worth of extra hops", res.EscapedHops.Max)
+	}
+	var empty HopStats
+	if empty.Mean() != 0 {
+		t.Errorf("empty HopStats mean = %v", empty.Mean())
+	}
+}
+
+func TestReplayWindowBoundary(t *testing.T) {
+	h := stableChain(t, 2)
+	res, err := Replay(h, ReplayConfig{
+		Dest:    0,
+		Sources: []topology.Node{1},
+		Start:   time.Second,
+		End:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [1s, 2s) at 100ms spacing = 10 packets (2s itself excluded).
+	if res.Sent != 10 {
+		t.Errorf("Sent = %d, want 10", res.Sent)
+	}
+}
+
+func TestReplayConfigValidation(t *testing.T) {
+	h := NewHistory(2)
+	cases := []ReplayConfig{
+		{Dest: 0, Sources: []topology.Node{1}, Start: time.Second, End: 0},
+		{Dest: 0, Sources: []topology.Node{1}, End: time.Second, Interval: -time.Second},
+		{Dest: 0, Sources: []topology.Node{1}, End: time.Second, TTL: -1},
+		{Dest: 0, Sources: []topology.Node{1}, End: time.Second, LinkDelay: -time.Millisecond},
+	}
+	for i, cfg := range cases {
+		if _, err := Replay(h, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestReplayEmptyWindow(t *testing.T) {
+	h := stableChain(t, 2)
+	res, err := Replay(h, ReplayConfig{
+		Dest:    0,
+		Sources: []topology.Node{1},
+		Start:   time.Second,
+		End:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 0 {
+		t.Errorf("Sent = %d, want 0", res.Sent)
+	}
+	if res.LoopingRatio() != 0 {
+		t.Errorf("LoopingRatio on empty result = %v", res.LoopingRatio())
+	}
+	if res.OverallLoopingDuration() != 0 {
+		t.Errorf("OverallLoopingDuration on empty result = %v", res.OverallLoopingDuration())
+	}
+}
+
+func TestReplaySelfLoopFIB(t *testing.T) {
+	// A FIB that points a node at itself (should never happen, but the
+	// walker must not hang): the revisit is immediate and TTL runs out.
+	h := NewHistory(2)
+	mustRecord(t, h, 0, 1, 1)
+	res, err := Replay(h, ReplayConfig{
+		Dest:     0,
+		Sources:  []topology.Node{1},
+		Start:    0,
+		End:      time.Millisecond,
+		Interval: time.Millisecond,
+		TTL:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTLExhausted != 1 {
+		t.Errorf("self-loop FIB: %+v, want 1 exhaustion", res)
+	}
+}

@@ -1,0 +1,232 @@
+// Package des provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is single-threaded by design: events execute one at a time in
+// strict (time, insertion-order) order, which makes every simulation run
+// reproducible given the same schedule of events and the same RNG seeds.
+// Virtual time is expressed as a time.Duration offset from the start of the
+// simulation; no wall-clock time is ever consulted.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual-time instant, measured as an offset from the start of
+// the simulation. It deliberately reuses time.Duration so that callers can
+// use the standard duration literals (30 * time.Second) for both instants
+// and intervals.
+type Time = time.Duration
+
+// ErrPastTime is returned when an event is scheduled before the current
+// virtual time. Scheduling in the past would silently violate causality, so
+// the kernel refuses it.
+var ErrPastTime = errors.New("des: event scheduled in the past")
+
+// Handle identifies a scheduled event and allows it to be cancelled.
+// The zero value is not a valid handle; handles are obtained from
+// Scheduler.At and Scheduler.After.
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the schedule. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.fired {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && !h.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is the event queue and virtual clock of a simulation.
+// The zero value is a ready-to-use scheduler positioned at time zero.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// executed counts events that have fired; useful for instrumentation
+	// and for guarding against runaway simulations.
+	executed uint64
+}
+
+// NewScheduler returns an empty scheduler positioned at virtual time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled events
+// that have not yet been popped are excluded.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at the absolute virtual time t. Events scheduled
+// for the same instant fire in the order they were scheduled.
+func (s *Scheduler) At(t Time, fn func()) (Handle, error) {
+	if t < s.now {
+		return Handle{}, fmt.Errorf("%w: now=%v, requested=%v", ErrPastTime, s.now, t)
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}, nil
+}
+
+// After schedules fn to run d after the current virtual time. A negative d
+// is rejected with ErrPastTime.
+func (s *Scheduler) After(d time.Duration, fn func()) (Handle, error) {
+	return s.At(s.now+d, fn)
+}
+
+// MustAfter is After for delays known to be non-negative by construction
+// (e.g. timer intervals from a validated config). It panics on ErrPastTime,
+// which in that context indicates a programming error, not a runtime
+// condition.
+func (s *Scheduler) MustAfter(d time.Duration, fn func()) Handle {
+	h, err := s.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Step pops and executes the next event. It reports false when the queue is
+// empty or the scheduler has been stopped.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 && !s.stopped {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty (quiescence) or Stop is
+// called. It returns the number of events executed by this call.
+func (s *Scheduler) Run() uint64 {
+	start := s.executed
+	for s.Step() {
+	}
+	return s.executed - start
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (even if the queue drained earlier). It returns the number of events
+// executed by this call.
+func (s *Scheduler) RunUntil(t Time) uint64 {
+	start := s.executed
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return s.executed - start
+}
+
+// RunLimit executes at most limit events, returning the number executed.
+// It is a guard against accidental non-terminating simulations.
+func (s *Scheduler) RunLimit(limit uint64) uint64 {
+	var n uint64
+	for n < limit && s.Step() {
+		n++
+	}
+	return n
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Resume clears a previous Stop so the scheduler can run again.
+func (s *Scheduler) Resume() { s.stopped = false }
+
+// peek returns the earliest non-cancelled pending event, or nil.
+func (s *Scheduler) peek() *event {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and
+// whether one exists.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	ev := s.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/topology"
+)
+
+// ScenarioSpec is the JSON scenario-file schema consumed by LoadScenario
+// and `bgpsim -scenario <file>`. Durations are given in seconds for easy
+// hand-editing; zero values fall back to the harness defaults.
+type ScenarioSpec struct {
+	Topology TopologySpec `json:"topology"`
+	// Event is "tdown" or "tlong".
+	Event string `json:"event"`
+	// Dest is the destination AS; -1 (or omitted with the zero value
+	// semantics below) picks the family default (AS 0 for clique,
+	// b-clique, chain, ring, figure topologies).
+	Dest *int `json:"dest,omitempty"`
+	// FailLink is the [a, b] link a tlong event fails. For the bclique
+	// family it defaults to the paper's [0, n] shortcut, and for figure1
+	// to the [4 0] link.
+	FailLink *[2]int `json:"failLink,omitempty"`
+
+	MRAISeconds         float64           `json:"mraiSeconds,omitempty"`
+	MRAIContinuous      bool              `json:"mraiContinuous,omitempty"`
+	Enhancements        map[string]bool   `json:"enhancements,omitempty"`
+	Damping             bool              `json:"damping,omitempty"`
+	FlapCycles          int               `json:"flapCycles,omitempty"`
+	RestoreDelaySeconds float64           `json:"restoreDelaySeconds,omitempty"`
+	Seed                int64             `json:"seed,omitempty"`
+	TraceLimit          int               `json:"traceLimit,omitempty"`
+	Extra               map[string]string `json:"-"`
+}
+
+// TopologySpec names a topology family and its parameters.
+type TopologySpec struct {
+	// Family is one of clique, bclique, chain, ring, star, figure1,
+	// figure2, internet, ba, waxman, or file.
+	Family string `json:"family"`
+	// Size is the family's size parameter.
+	Size int `json:"size,omitempty"`
+	// Seed drives generated families (internet, ba, waxman).
+	Seed int64 `json:"seed,omitempty"`
+	// Path is the edge-list file for family "file".
+	Path string `json:"path,omitempty"`
+}
+
+// Build constructs the topology described by the spec.
+func (ts TopologySpec) Build() (*topology.Graph, error) {
+	switch ts.Family {
+	case "clique":
+		return topology.Clique(ts.Size), nil
+	case "bclique":
+		return topology.BClique(ts.Size), nil
+	case "chain":
+		return topology.Chain(ts.Size), nil
+	case "ring":
+		return topology.Ring(ts.Size), nil
+	case "star":
+		return topology.Star(ts.Size), nil
+	case "figure1":
+		return topology.Figure1(), nil
+	case "figure2":
+		return topology.Figure2Loop(ts.Size, ts.Size), nil
+	case "internet":
+		return topology.InternetLike(ts.Size, ts.Seed)
+	case "ba":
+		return topology.BarabasiAlbert(ts.Size, 2, ts.Seed)
+	case "waxman":
+		return topology.Waxman(ts.Size, 0.9, 0.25, ts.Seed)
+	case "file":
+		f, err := os.Open(ts.Path)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: open topology file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		return topology.ReadEdgeList(f)
+	default:
+		return nil, fmt.Errorf("experiment: unknown topology family %q", ts.Family)
+	}
+}
+
+// LoadScenario parses a JSON scenario spec and builds the Scenario.
+func LoadScenario(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec ScenarioSpec
+	if err := dec.Decode(&spec); err != nil {
+		return Scenario{}, fmt.Errorf("experiment: parse scenario: %w", err)
+	}
+	return spec.Scenario()
+}
+
+// LoadScenarioFile is LoadScenario for a file path.
+func LoadScenarioFile(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("experiment: open scenario: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return LoadScenario(f)
+}
+
+// Scenario materialises the spec into a runnable Scenario.
+func (spec ScenarioSpec) Scenario() (Scenario, error) {
+	g, err := spec.Topology.Build()
+	if err != nil {
+		return Scenario{}, err
+	}
+	cfg := bgp.DefaultConfig()
+	if spec.MRAISeconds > 0 {
+		cfg.MRAI = time.Duration(spec.MRAISeconds * float64(time.Second))
+	}
+	cfg.MRAIContinuous = spec.MRAIContinuous
+	for name, on := range spec.Enhancements {
+		if !on {
+			continue
+		}
+		switch name {
+		case "ssld":
+			cfg.Enhancements.SSLD = true
+		case "ssldImmediate":
+			cfg.Enhancements.SSLD = true
+			cfg.Enhancements.SSLDImmediate = true
+		case "wrate":
+			cfg.Enhancements.WRATE = true
+		case "assertion":
+			cfg.Enhancements.Assertion = true
+		case "ghostflush":
+			cfg.Enhancements.GhostFlushing = true
+		default:
+			return Scenario{}, fmt.Errorf("experiment: unknown enhancement %q", name)
+		}
+	}
+	if spec.Damping {
+		cfg.Damping = bgp.DefaultDamping()
+	}
+
+	dest := topology.Node(0)
+	if spec.Dest != nil {
+		dest = topology.Node(*spec.Dest)
+	}
+
+	s := Scenario{
+		Graph:        g,
+		Dest:         dest,
+		BGP:          cfg,
+		Seed:         spec.Seed,
+		FlapCycles:   spec.FlapCycles,
+		RestoreDelay: time.Duration(spec.RestoreDelaySeconds * float64(time.Second)),
+		TraceLimit:   spec.TraceLimit,
+	}
+	switch spec.Event {
+	case "tdown":
+		s.Event = TDown
+	case "tlong":
+		s.Event = TLong
+		switch {
+		case spec.FailLink != nil:
+			s.FailLink = topology.NormEdge(topology.Node(spec.FailLink[0]), topology.Node(spec.FailLink[1]))
+		case spec.Topology.Family == "bclique":
+			s.FailLink = topology.BCliqueShortcut(spec.Topology.Size)
+		case spec.Topology.Family == "figure1":
+			s.FailLink = topology.Figure1FailedLink()
+		default:
+			return Scenario{}, fmt.Errorf("experiment: tlong needs failLink for family %q", spec.Topology.Family)
+		}
+	default:
+		return Scenario{}, fmt.Errorf("experiment: unknown event %q (want tdown or tlong)", spec.Event)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

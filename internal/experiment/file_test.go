@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bgploop/internal/topology"
+)
+
+func TestLoadScenarioBasic(t *testing.T) {
+	spec := `{
+		"topology": {"family": "clique", "size": 8},
+		"event": "tdown",
+		"mraiSeconds": 10,
+		"enhancements": {"ghostflush": true},
+		"seed": 7
+	}`
+	s, err := LoadScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.NumNodes() != 8 || s.Event != TDown || s.Dest != 0 {
+		t.Errorf("scenario = %+v", s)
+	}
+	if s.BGP.MRAI != 10*time.Second {
+		t.Errorf("MRAI = %v", s.BGP.MRAI)
+	}
+	if !s.BGP.Enhancements.GhostFlushing {
+		t.Error("ghostflush not enabled")
+	}
+	if s.Seed != 7 {
+		t.Errorf("seed = %d", s.Seed)
+	}
+	// And it actually runs.
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadScenarioTLongDefaults(t *testing.T) {
+	spec := `{
+		"topology": {"family": "bclique", "size": 5},
+		"event": "tlong"
+	}`
+	s, err := LoadScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FailLink != topology.BCliqueShortcut(5) {
+		t.Errorf("FailLink = %v, want the paper's [0 5] shortcut", s.FailLink)
+	}
+
+	fig1 := `{"topology": {"family": "figure1"}, "event": "tlong"}`
+	s1, err := LoadScenario(strings.NewReader(fig1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.FailLink != topology.Figure1FailedLink() {
+		t.Errorf("figure1 FailLink = %v", s1.FailLink)
+	}
+}
+
+func TestLoadScenarioExplicitLinkAndDest(t *testing.T) {
+	spec := `{
+		"topology": {"family": "ring", "size": 6},
+		"event": "tlong",
+		"dest": 2,
+		"failLink": [2, 3],
+		"damping": true,
+		"flapCycles": 1,
+		"restoreDelaySeconds": 1.5
+	}`
+	s, err := LoadScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dest != 2 || s.FailLink != topology.NormEdge(2, 3) {
+		t.Errorf("dest/link = %d/%v", s.Dest, s.FailLink)
+	}
+	if s.BGP.Damping == nil {
+		t.Error("damping not enabled")
+	}
+	if s.FlapCycles != 1 || s.RestoreDelay != 1500*time.Millisecond {
+		t.Errorf("flap/restore = %d/%v", s.FlapCycles, s.RestoreDelay)
+	}
+}
+
+func TestLoadScenarioTopologyFamilies(t *testing.T) {
+	for _, family := range []string{"clique", "bclique", "chain", "ring", "star", "figure1", "figure2", "internet", "ba", "waxman"} {
+		ts := TopologySpec{Family: family, Size: 8, Seed: 1}
+		g, err := ts.Build()
+		if err != nil {
+			t.Errorf("%s: %v", family, err)
+			continue
+		}
+		if g.NumNodes() == 0 {
+			t.Errorf("%s: empty", family)
+		}
+	}
+}
+
+func TestLoadScenarioFromTopologyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.topo")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.WriteEdgeList(f, topology.Clique(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spec := `{"topology": {"family": "file", "path": ` + quote(path) + `}, "event": "tdown"}`
+	s, err := LoadScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.NumNodes() != 5 {
+		t.Errorf("nodes = %d", s.Graph.NumNodes())
+	}
+}
+
+func quote(s string) string { return `"` + strings.ReplaceAll(s, `\`, `\\`) + `"` }
+
+func TestLoadScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"unknown field":   `{"topology": {"family": "clique", "size": 4}, "event": "tdown", "bogus": 1}`,
+		"unknown family":  `{"topology": {"family": "moebius", "size": 4}, "event": "tdown"}`,
+		"unknown event":   `{"topology": {"family": "clique", "size": 4}, "event": "sideways"}`,
+		"unknown enhance": `{"topology": {"family": "clique", "size": 4}, "event": "tdown", "enhancements": {"warp": true}}`,
+		"tlong no link":   `{"topology": {"family": "clique", "size": 4}, "event": "tlong"}`,
+		"bridge link":     `{"topology": {"family": "chain", "size": 4}, "event": "tlong", "failLink": [0, 1]}`,
+	}
+	for name, spec := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadScenario(strings.NewReader(spec)); err == nil {
+				t.Errorf("%s accepted", name)
+			}
+		})
+	}
+}
+
+func TestLoadScenarioFileMissing(t *testing.T) {
+	if _, err := LoadScenarioFile("/definitely/not/here.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

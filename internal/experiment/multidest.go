@@ -1,0 +1,289 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/dataplane"
+	"bgploop/internal/des"
+	"bgploop/internal/loopanalysis"
+	"bgploop/internal/netsim"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// MultiScenario is the multi-prefix extension of Scenario: every AS in
+// Origins originates its own prefix (the paper studies a single
+// destination; this workload measures how one failure disturbs routing to
+// *every* destination simultaneously, exercising the per-(destination,
+// peer) MRAI timers).
+type MultiScenario struct {
+	// Graph is the AS topology.
+	Graph *topology.Graph
+	// Origins lists the prefix-originating ASes (every node if empty).
+	Origins []topology.Node
+	// Event selects the failure: TDown fails every link of FailNode;
+	// TLong fails FailLink.
+	Event    EventKind
+	FailNode topology.Node
+	FailLink topology.Edge
+	// BGP configures every speaker.
+	BGP bgp.Config
+	// PacketInterval, TTL, LinkDelay, SettleDelay, Seed, MaxEvents as in
+	// Scenario.
+	PacketInterval time.Duration
+	TTL            int
+	LinkDelay      time.Duration
+	SettleDelay    time.Duration
+	Seed           int64
+	MaxEvents      uint64
+}
+
+func (s MultiScenario) withDefaults() MultiScenario {
+	if len(s.Origins) == 0 {
+		s.Origins = s.Graph.Nodes()
+	}
+	if s.PacketInterval == 0 {
+		s.PacketInterval = dataplane.DefaultInterval
+	}
+	if s.TTL == 0 {
+		s.TTL = dataplane.DefaultTTL
+	}
+	if s.LinkDelay == 0 {
+		s.LinkDelay = 2 * time.Millisecond
+	}
+	if s.SettleDelay == 0 {
+		s.SettleDelay = time.Second
+	}
+	if s.MaxEvents == 0 {
+		s.MaxEvents = 200_000_000
+	}
+	return s
+}
+
+// Validate reports scenario construction errors.
+func (s MultiScenario) Validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("experiment: nil topology")
+	}
+	if !s.Graph.Connected() {
+		return fmt.Errorf("experiment: topology must start connected")
+	}
+	for _, o := range s.Origins {
+		if !s.Graph.Valid(o) {
+			return fmt.Errorf("experiment: origin %d not in topology", o)
+		}
+	}
+	switch s.Event {
+	case TDown:
+		if !s.Graph.Valid(s.FailNode) {
+			return fmt.Errorf("experiment: fail node %d not in topology", s.FailNode)
+		}
+	case TLong:
+		if !s.Graph.HasEdge(s.FailLink.A, s.FailLink.B) {
+			return fmt.Errorf("experiment: Tlong link %v not in topology", s.FailLink)
+		}
+		if !s.Graph.ConnectedWithout(s.FailLink) {
+			return fmt.Errorf("experiment: Tlong link %v is a bridge", s.FailLink)
+		}
+	default:
+		return fmt.Errorf("experiment: unknown event kind %d", int(s.Event))
+	}
+	return s.BGP.Validate()
+}
+
+// DestOutcome is the per-destination slice of a multi-prefix run.
+type DestOutcome struct {
+	Replay    dataplane.ReplayResult
+	Loops     []loopanalysis.Loop
+	LoopStats loopanalysis.Stats
+}
+
+// MultiResult aggregates a multi-prefix run.
+type MultiResult struct {
+	FailAt          des.Time
+	ConvergenceTime time.Duration
+	// PerDest maps each origin to its outcome; destinations whose
+	// routing never changed after the failure have empty outcomes.
+	PerDest map[topology.Node]*DestOutcome
+	// AffectedDests counts destinations whose FIBs changed after the
+	// failure.
+	AffectedDests int
+	// Totals across destinations.
+	PacketsSent    int
+	TTLExhaustions int
+	Delivered      int
+	NoRoute        int
+	LoopingRatio   float64
+	UpdatesSent    int
+	LoopCount      int
+	EventsExecuted uint64
+}
+
+// multiObserver records one FIB history per destination.
+type multiObserver struct {
+	n         int
+	histories map[topology.Node]*dataplane.History
+	lastSent  des.Time
+	anySent   bool
+	err       error
+}
+
+func (o *multiObserver) RouteChanged(now des.Time, node, dest, nexthop topology.Node, best routing.Path) {
+	if o.err != nil || node == dest {
+		return
+	}
+	h, ok := o.histories[dest]
+	if !ok {
+		h = dataplane.NewHistory(o.n)
+		o.histories[dest] = h
+	}
+	if err := h.Record(now, node, nexthop); err != nil {
+		o.err = err
+	}
+}
+
+func (o *multiObserver) UpdateSent(now des.Time, from, to topology.Node, update bgp.Update) {
+	if now > o.lastSent {
+		o.lastSent = now
+	}
+	o.anySent = true
+}
+
+var _ bgp.Observer = (*multiObserver)(nil)
+
+// RunMulti executes the multi-prefix scenario.
+func RunMulti(s MultiScenario) (*MultiResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s = s.withDefaults()
+
+	sched := des.NewScheduler()
+	net := netsim.New(sched, s.Graph, s.LinkDelay)
+	rng := des.NewRNG(s.Seed)
+	obs := &multiObserver{
+		n:         s.Graph.NumNodes(),
+		histories: make(map[topology.Node]*dataplane.History, len(s.Origins)),
+	}
+
+	speakers := make([]*bgp.Speaker, s.Graph.NumNodes())
+	for _, v := range s.Graph.Nodes() {
+		sp, err := bgp.NewSpeaker(v, sched, net, s.BGP, rng, obs)
+		if err != nil {
+			return nil, err
+		}
+		speakers[v] = sp
+	}
+	for _, o := range s.Origins {
+		if err := speakers[o].Originate(o); err != nil {
+			return nil, err
+		}
+	}
+
+	budget := s.MaxEvents
+	used := sched.RunLimit(budget)
+	if used >= budget {
+		return nil, fmt.Errorf("%w (initial convergence, %d events)", ErrNoQuiescence, used)
+	}
+	budget -= used
+
+	failAt := sched.Now() + s.SettleDelay
+	switch s.Event {
+	case TDown:
+		if err := net.FailNode(failAt, s.FailNode); err != nil {
+			return nil, err
+		}
+	case TLong:
+		if err := net.FailLink(failAt, s.FailLink.A, s.FailLink.B); err != nil {
+			return nil, err
+		}
+	}
+	obs.lastSent = 0
+	obs.anySent = false
+	used = sched.RunLimit(budget)
+	if used >= budget {
+		return nil, fmt.Errorf("%w (post-failure, %d events)", ErrNoQuiescence, used)
+	}
+	if obs.err != nil {
+		return nil, obs.err
+	}
+
+	convergedAt := failAt
+	if obs.anySent && obs.lastSent > failAt {
+		convergedAt = obs.lastSent
+	}
+	horizon := sched.Now()
+	if convergedAt > horizon {
+		horizon = convergedAt
+	}
+
+	res := &MultiResult{
+		FailAt:          failAt,
+		ConvergenceTime: convergedAt - failAt,
+		PerDest:         make(map[topology.Node]*DestOutcome, len(s.Origins)),
+		EventsExecuted:  sched.Executed(),
+	}
+	origins := append([]topology.Node(nil), s.Origins...)
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, dest := range origins {
+		h := obs.histories[dest]
+		if h == nil {
+			continue
+		}
+		out := &DestOutcome{}
+		sources := make([]topology.Node, 0, s.Graph.NumNodes()-1)
+		for _, v := range s.Graph.Nodes() {
+			if v != dest {
+				sources = append(sources, v)
+			}
+		}
+		replay, err := dataplane.Replay(h, dataplane.ReplayConfig{
+			Dest:      dest,
+			Sources:   sources,
+			Start:     failAt,
+			End:       convergedAt,
+			Interval:  s.PacketInterval,
+			TTL:       s.TTL,
+			LinkDelay: s.LinkDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Replay = replay
+		affected := false
+		for _, l := range loopanalysis.FindLoops(h, horizon) {
+			if l.End > failAt {
+				out.Loops = append(out.Loops, l)
+			}
+		}
+		// A destination counts as affected when any of its FIB entries
+		// changed at or after the failure instant.
+		for _, v := range s.Graph.Nodes() {
+			if v != dest && h.ChangesSince(v, failAt) > 0 {
+				affected = true
+				break
+			}
+		}
+		out.LoopStats = loopanalysis.Summarize(out.Loops)
+		res.PerDest[dest] = out
+		if affected {
+			res.AffectedDests++
+		}
+		res.PacketsSent += replay.Sent
+		res.TTLExhaustions += replay.TTLExhausted
+		res.Delivered += replay.Delivered
+		res.NoRoute += replay.NoRoute
+		res.LoopCount += len(out.Loops)
+	}
+	if res.PacketsSent > 0 {
+		res.LoopingRatio = float64(res.TTLExhaustions) / float64(res.PacketsSent)
+	}
+	for _, sp := range speakers {
+		st := sp.Stats()
+		res.UpdatesSent += st.UpdatesSent()
+	}
+	return res, nil
+}

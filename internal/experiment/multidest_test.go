@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"testing"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/topology"
+)
+
+func TestMultiDestValidate(t *testing.T) {
+	cfg := bgp.DefaultConfig()
+	cases := []struct {
+		name string
+		s    MultiScenario
+	}{
+		{"nil graph", MultiScenario{Event: TDown, BGP: cfg}},
+		{"bad origin", MultiScenario{Graph: topology.Clique(3), Origins: []topology.Node{7}, Event: TDown, BGP: cfg}},
+		{"bad fail node", MultiScenario{Graph: topology.Clique(3), Event: TDown, FailNode: 9, BGP: cfg}},
+		{"bridge tlong", MultiScenario{Graph: topology.Chain(3), Event: TLong, FailLink: topology.NormEdge(0, 1), BGP: cfg}},
+		{"no event", MultiScenario{Graph: topology.Clique(3), BGP: cfg}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.s.Validate(); err == nil {
+				t.Errorf("%s accepted", tt.name)
+			}
+		})
+	}
+}
+
+func TestMultiDestTLong(t *testing.T) {
+	g := topology.BClique(4)
+	s := MultiScenario{
+		Graph:    g,
+		Event:    TLong,
+		FailLink: topology.BCliqueShortcut(4),
+		BGP:      bgp.DefaultConfig(),
+		Seed:     1,
+	}
+	res, err := RunMulti(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConvergenceTime <= 0 {
+		t.Error("no convergence measured")
+	}
+	// Every node originates; all eight destinations must have outcomes.
+	if len(res.PerDest) != g.NumNodes() {
+		t.Errorf("PerDest size = %d, want %d", len(res.PerDest), g.NumNodes())
+	}
+	// The failed link [0 4] carried traffic both ways: at least the
+	// destinations at its endpoints are affected, and typically more.
+	if res.AffectedDests < 2 {
+		t.Errorf("AffectedDests = %d, want >= 2", res.AffectedDests)
+	}
+	if res.AffectedDests > g.NumNodes() {
+		t.Errorf("AffectedDests = %d exceeds node count", res.AffectedDests)
+	}
+	// Packet conservation across all destinations.
+	if res.Delivered+res.NoRoute+res.TTLExhaustions != res.PacketsSent {
+		t.Errorf("packets unaccounted: %+v", res)
+	}
+	// T_long keeps the graph connected: deliveries must dominate.
+	if res.Delivered == 0 {
+		t.Error("no packet delivered in a connected T_long")
+	}
+}
+
+func TestMultiDestTDown(t *testing.T) {
+	g := topology.Clique(5)
+	s := MultiScenario{
+		Graph:    g,
+		Event:    TDown,
+		FailNode: 0,
+		BGP:      bgp.DefaultConfig(),
+		Seed:     2,
+	}
+	res, err := RunMulti(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destination 0 is gone: its packets can never be delivered.
+	d0 := res.PerDest[0]
+	if d0 == nil {
+		t.Fatal("destination 0 missing")
+	}
+	if d0.Replay.Delivered != 0 {
+		t.Errorf("packets delivered to failed destination: %+v", d0.Replay)
+	}
+	// Node 0's failure removes it as a source and transit for every
+	// other destination; each such destination remains reachable among
+	// the surviving clique.
+	for dest, out := range res.PerDest {
+		if dest == 0 {
+			continue
+		}
+		if out.Replay.TTLExhausted > 0 {
+			// Possible but should be modest: the clique retains direct
+			// links between all survivors.
+			t.Logf("dest %d: %d exhaustions", dest, out.Replay.TTLExhausted)
+		}
+	}
+	if res.UpdatesSent == 0 {
+		t.Error("no updates counted")
+	}
+}
+
+func TestMultiDestSingleOriginMatchesScenario(t *testing.T) {
+	// A multi-scenario restricted to one origin must agree with the
+	// single-destination harness on the core metrics.
+	g := topology.Clique(5)
+	cfg := bgp.DefaultConfig()
+	multi := MultiScenario{
+		Graph:    g,
+		Origins:  []topology.Node{0},
+		Event:    TDown,
+		FailNode: 0,
+		BGP:      cfg,
+		Seed:     7,
+	}
+	mres, err := RunMulti(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Run(CliqueTDown(5, cfg, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.ConvergenceTime != sres.ConvergenceTime {
+		t.Errorf("convergence: multi %v vs single %v", mres.ConvergenceTime, sres.ConvergenceTime)
+	}
+	if mres.TTLExhaustions != sres.TTLExhaustions {
+		t.Errorf("exhaustions: multi %d vs single %d", mres.TTLExhaustions, sres.TTLExhaustions)
+	}
+	if mres.PacketsSent != sres.PacketsSent {
+		t.Errorf("packets: multi %d vs single %d", mres.PacketsSent, sres.PacketsSent)
+	}
+}
+
+func TestMultiDestDeterministic(t *testing.T) {
+	s := MultiScenario{
+		Graph:    topology.Clique(4),
+		Event:    TDown,
+		FailNode: 0,
+		BGP:      bgp.DefaultConfig(),
+		Seed:     5,
+	}
+	a, err := RunMulti(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMulti(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConvergenceTime != b.ConvergenceTime || a.TTLExhaustions != b.TTLExhaustions ||
+		a.UpdatesSent != b.UpdatesSent || a.LoopCount != b.LoopCount {
+		t.Error("multi-dest runs diverged under identical seeds")
+	}
+}
+
+func TestMultiDestEventBudget(t *testing.T) {
+	s := MultiScenario{
+		Graph:     topology.Clique(5),
+		Event:     TDown,
+		FailNode:  0,
+		BGP:       bgp.DefaultConfig(),
+		Seed:      1,
+		MaxEvents: 10,
+	}
+	if _, err := RunMulti(s); err == nil {
+		t.Error("tiny budget accepted")
+	}
+}

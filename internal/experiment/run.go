@@ -1,0 +1,364 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/dataplane"
+	"bgploop/internal/des"
+	"bgploop/internal/loopanalysis"
+	"bgploop/internal/netsim"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+	"bgploop/internal/trace"
+)
+
+// ErrNoQuiescence is returned when a simulation exceeds its event budget,
+// which indicates either a pathological scenario or a protocol bug.
+var ErrNoQuiescence = errors.New("experiment: simulation did not quiesce within the event budget")
+
+// Result carries everything measured in one run.
+type Result struct {
+	// Scenario echo for reporting.
+	Topology    string
+	Nodes       int
+	Event       EventKind
+	Enhancement string
+	MRAI        time.Duration
+	Seed        int64
+
+	// FailAt is the failure injection instant; InitialConvergence is how
+	// long the pristine network took to converge from cold start.
+	FailAt             des.Time
+	InitialConvergence time.Duration
+
+	// ConvergenceTime is the paper's metric: failure instant to the last
+	// BGP update sent.
+	ConvergenceTime time.Duration
+
+	// Replay aggregates the packet workload outcome over the convergence
+	// window; LoopingDuration and LoopingRatio are derived from it.
+	Replay          dataplane.ReplayResult
+	LoopingDuration time.Duration
+	LoopingRatio    float64
+	TTLExhaustions  int
+	PacketsSent     int
+
+	// Loops are the exact transient-loop intervals extracted from the
+	// FIB history after the failure.
+	Loops     []loopanalysis.Loop
+	LoopStats loopanalysis.Stats
+
+	// Control-plane totals over the whole run.
+	UpdatesSent            int
+	Announcements          int
+	Withdrawals            int
+	BestChanges            int
+	SSLDConversions        int
+	GhostFlushes           int
+	AssertionInvalidations int
+	RoutesSuppressed       int
+	RoutesReused           int
+	FIBChanges             int
+	EventsExecuted         uint64
+
+	// Trace holds the protocol event trace when Scenario.TraceLimit > 0.
+	Trace *trace.Recorder
+
+	// Recovery holds the T_up phase when Scenario.RestoreDelay > 0.
+	Recovery *Recovery
+}
+
+// Recovery captures the T_up phase of a flap scenario: the failed
+// element is repaired and the network re-converges onto the original
+// routes.
+type Recovery struct {
+	// RestoreAt is the repair instant.
+	RestoreAt des.Time
+	// ConvergenceTime is repair instant -> last update sent.
+	ConvergenceTime time.Duration
+	// Replay covers packets sent during the recovery window.
+	Replay dataplane.ReplayResult
+	// LoopingDuration/LoopingRatio/TTLExhaustions mirror the §4.2
+	// metrics for the recovery window.
+	LoopingDuration time.Duration
+	LoopingRatio    float64
+	TTLExhaustions  int
+	// Loops are transient loops observed during recovery.
+	Loops []loopanalysis.Loop
+}
+
+// observer records FIB changes for the scenario's destination and tracks
+// the last update sent.
+type observer struct {
+	dest     topology.Node
+	sched    *des.Scheduler
+	history  *dataplane.History
+	lastSent des.Time
+	anySent  bool
+	err      error
+}
+
+func (o *observer) RouteChanged(now des.Time, node, dest, nexthop topology.Node, best routing.Path) {
+	if dest != o.dest || o.err != nil {
+		return
+	}
+	if node == o.dest {
+		// The destination delivers locally; it has no forwarding next hop
+		// and must not appear as a self-loop in the FIB history.
+		return
+	}
+	if err := o.history.Record(now, node, nexthop); err != nil {
+		o.err = err
+	}
+}
+
+func (o *observer) UpdateSent(now des.Time, from, to topology.Node, update bgp.Update) {
+	if now > o.lastSent {
+		o.lastSent = now
+	}
+	o.anySent = true
+}
+
+var _ bgp.Observer = (*observer)(nil)
+
+// Run executes the scenario: originate the destination, converge, inject
+// the failure, converge again, then replay the packet workload over the
+// recorded FIB history and extract all metrics.
+func Run(s Scenario) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s = s.withDefaults()
+
+	sched := des.NewScheduler()
+	net := netsim.New(sched, s.Graph, s.LinkDelay)
+	rng := des.NewRNG(s.Seed)
+	obs := &observer{
+		dest:    s.Dest,
+		sched:   sched,
+		history: dataplane.NewHistory(s.Graph.NumNodes()),
+	}
+
+	var speakerObs bgp.Observer = obs
+	var recorder *trace.Recorder
+	if s.TraceLimit > 0 {
+		recorder = trace.NewRecorder(obs)
+		recorder.Limit = s.TraceLimit
+		speakerObs = recorder
+	}
+
+	speakers := make([]*bgp.Speaker, s.Graph.NumNodes())
+	for _, v := range s.Graph.Nodes() {
+		sp, err := bgp.NewSpeaker(v, sched, net, s.BGP, rng, speakerObs)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: speaker %d: %w", v, err)
+		}
+		speakers[v] = sp
+	}
+
+	// Phase 1: cold-start convergence.
+	if err := speakers[s.Dest].Originate(s.Dest); err != nil {
+		return nil, err
+	}
+	budget := s.MaxEvents
+	used := sched.RunLimit(budget)
+	if used >= budget {
+		return nil, fmt.Errorf("%w (initial convergence, %d events)", ErrNoQuiescence, used)
+	}
+	budget -= used
+	initialConv := obs.lastSent
+
+	// Phase 1b (optional extension): pre-flap cycles, so flap-damping
+	// penalties accumulate before the measured failure.
+	for cycle := 0; cycle < s.FlapCycles; cycle++ {
+		for _, action := range []func(des.Time) error{
+			func(at des.Time) error { return s.injectFailure(net, at) },
+			func(at des.Time) error { return s.injectRepair(net, at) },
+		} {
+			if err := action(sched.Now() + s.SettleDelay); err != nil {
+				return nil, err
+			}
+			used = sched.RunLimit(budget)
+			if used >= budget {
+				return nil, fmt.Errorf("%w (pre-flap cycle %d, %d events)", ErrNoQuiescence, cycle, used)
+			}
+			budget -= used
+		}
+	}
+
+	// Phase 2: failure and re-convergence.
+	failAt := sched.Now() + s.SettleDelay
+	if err := s.injectFailure(net, failAt); err != nil {
+		return nil, err
+	}
+	obs.lastSent = 0 // reset: we want the last update after the failure
+	obs.anySent = false
+	used = sched.RunLimit(budget)
+	if used >= budget {
+		return nil, fmt.Errorf("%w (post-failure, %d events)", ErrNoQuiescence, used)
+	}
+	if obs.err != nil {
+		return nil, obs.err
+	}
+
+	convergedAt := failAt
+	if obs.anySent && obs.lastSent > failAt {
+		convergedAt = obs.lastSent
+	}
+	failurePhaseEnd := sched.Now()
+
+	// Phase 2b (optional extension): repair the failed element (T_up) and
+	// re-converge.
+	var (
+		restoreAt   des.Time
+		recoveredAt des.Time
+	)
+	if s.RestoreDelay > 0 {
+		restoreAt = sched.Now() + s.RestoreDelay
+		if err := s.injectRepair(net, restoreAt); err != nil {
+			return nil, err
+		}
+		obs.lastSent = 0
+		obs.anySent = false
+		used = sched.RunLimit(budget)
+		if used >= budget {
+			return nil, fmt.Errorf("%w (recovery, %d events)", ErrNoQuiescence, used)
+		}
+		if obs.err != nil {
+			return nil, obs.err
+		}
+		recoveredAt = restoreAt
+		if obs.anySent && obs.lastSent > restoreAt {
+			recoveredAt = obs.lastSent
+		}
+	}
+
+	// Phase 3: data-plane replay over the convergence window.
+	sources := make([]topology.Node, 0, s.Graph.NumNodes()-1)
+	for _, v := range s.Graph.Nodes() {
+		if v != s.Dest {
+			sources = append(sources, v)
+		}
+	}
+	replay, err := dataplane.Replay(obs.history, dataplane.ReplayConfig{
+		Dest:      s.Dest,
+		Sources:   sources,
+		Start:     failAt,
+		End:       convergedAt,
+		Interval:  s.PacketInterval,
+		TTL:       s.TTL,
+		LinkDelay: s.LinkDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4: exact loop intervals after the failure. The horizon is the
+	// end of the failure phase (not convergedAt): the last *sent* update
+	// still needs delivery and processing before the receiving FIB
+	// changes, so loops can outlive the paper's convergence instant by a
+	// propagation-plus-processing delay.
+	horizon := failurePhaseEnd
+	if convergedAt > horizon {
+		horizon = convergedAt
+	}
+	allLoops := loopanalysis.FindLoops(obs.history, horizon)
+	var postFailLoops []loopanalysis.Loop
+	for _, l := range allLoops {
+		if l.End > failAt && (s.RestoreDelay == 0 || l.Start < restoreAt) {
+			postFailLoops = append(postFailLoops, l)
+		}
+	}
+
+	var recovery *Recovery
+	if s.RestoreDelay > 0 {
+		recReplay, err := dataplane.Replay(obs.history, dataplane.ReplayConfig{
+			Dest:      s.Dest,
+			Sources:   sources,
+			Start:     restoreAt,
+			End:       recoveredAt,
+			Interval:  s.PacketInterval,
+			TTL:       s.TTL,
+			LinkDelay: s.LinkDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		recovery = &Recovery{
+			RestoreAt:       restoreAt,
+			ConvergenceTime: recoveredAt - restoreAt,
+			Replay:          recReplay,
+			LoopingDuration: recReplay.OverallLoopingDuration(),
+			LoopingRatio:    recReplay.LoopingRatio(),
+			TTLExhaustions:  recReplay.TTLExhausted,
+		}
+		for _, l := range loopanalysis.FindLoops(obs.history, sched.Now()) {
+			if l.End > restoreAt {
+				recovery.Loops = append(recovery.Loops, l)
+			}
+		}
+	}
+
+	res := &Result{
+		Topology:           s.Graph.Name(),
+		Nodes:              s.Graph.NumNodes(),
+		Event:              s.Event,
+		Enhancement:        s.BGP.Enhancements.String(),
+		MRAI:               s.BGP.MRAI,
+		Seed:               s.Seed,
+		FailAt:             failAt,
+		InitialConvergence: initialConv,
+		ConvergenceTime:    convergedAt - failAt,
+		Replay:             replay,
+		LoopingDuration:    replay.OverallLoopingDuration(),
+		LoopingRatio:       replay.LoopingRatio(),
+		TTLExhaustions:     replay.TTLExhausted,
+		PacketsSent:        replay.Sent,
+		Loops:              postFailLoops,
+		LoopStats:          loopanalysis.Summarize(postFailLoops),
+		FIBChanges:         obs.history.TotalChanges(),
+		EventsExecuted:     sched.Executed(),
+		Trace:              recorder,
+		Recovery:           recovery,
+	}
+	for _, sp := range speakers {
+		st := sp.Stats()
+		res.Announcements += st.AnnouncementsSent
+		res.Withdrawals += st.WithdrawalsSent
+		res.BestChanges += st.BestChanges
+		res.SSLDConversions += st.SSLDConversions
+		res.GhostFlushes += st.GhostFlushes
+		res.AssertionInvalidations += st.AssertionInvalidations
+		res.RoutesSuppressed += st.RoutesSuppressed
+		res.RoutesReused += st.RoutesReused
+	}
+	res.UpdatesSent = res.Announcements + res.Withdrawals
+	return res, nil
+}
+
+// injectFailure schedules the scenario's configured failure at time at.
+func (s Scenario) injectFailure(net *netsim.Network, at des.Time) error {
+	switch s.Event {
+	case TDown:
+		return net.FailNode(at, s.Dest)
+	case TLong:
+		return net.FailLink(at, s.FailLink.A, s.FailLink.B)
+	default:
+		return fmt.Errorf("experiment: unknown event kind %d", int(s.Event))
+	}
+}
+
+// injectRepair schedules the inverse of injectFailure at time at.
+func (s Scenario) injectRepair(net *netsim.Network, at des.Time) error {
+	switch s.Event {
+	case TDown:
+		return net.RestoreNode(at, s.Dest)
+	case TLong:
+		return net.RestoreLink(at, s.FailLink.A, s.FailLink.B)
+	default:
+		return fmt.Errorf("experiment: unknown event kind %d", int(s.Event))
+	}
+}

@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/topology"
+)
+
+func TestValidate(t *testing.T) {
+	cfg := bgp.DefaultConfig()
+	tests := []struct {
+		name string
+		s    Scenario
+	}{
+		{"nil graph", Scenario{Event: TDown, BGP: cfg}},
+		{"bad dest", Scenario{Graph: topology.Clique(3), Dest: 5, Event: TDown, BGP: cfg}},
+		{"disconnected", Scenario{Graph: topology.New(3), Dest: 0, Event: TDown, BGP: cfg}},
+		{"unknown event", Scenario{Graph: topology.Clique(3), Dest: 0, BGP: cfg}},
+		{"tlong missing link", Scenario{Graph: topology.Clique(3), Dest: 0, Event: TLong, BGP: cfg}},
+		{
+			"tlong bridge",
+			Scenario{Graph: topology.Chain(3), Dest: 0, Event: TLong, FailLink: topology.NormEdge(0, 1), BGP: cfg},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.s.Validate(); err == nil {
+				t.Errorf("%s accepted", tt.name)
+			}
+		})
+	}
+	good := TDownScenario(topology.Clique(4), 0, cfg, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestRunFigure1TLong(t *testing.T) {
+	s := TLongScenario(topology.Figure1(), 0, topology.Figure1FailedLink(), bgp.DefaultConfig(), 1)
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConvergenceTime <= 0 {
+		t.Error("no convergence time measured")
+	}
+	// The canonical transient loop of Figure 1 must be observed exactly:
+	// a 2-node loop between ASes 5 and 6.
+	found := false
+	for _, l := range res.Loops {
+		if l.Size() == 2 && l.Nodes[0] == 5 && l.Nodes[1] == 6 {
+			found = true
+			if !l.Resolved {
+				t.Error("5<->6 loop never resolved")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("5<->6 loop not found; loops = %v", res.Loops)
+	}
+	// Packets were sent and some were caught in the loop.
+	if res.PacketsSent == 0 {
+		t.Error("no packets replayed")
+	}
+	if res.TTLExhaustions == 0 {
+		t.Error("no TTL exhaustions despite a transient loop lasting seconds")
+	}
+	if res.LoopingRatio <= 0 || res.LoopingRatio > 1 {
+		t.Errorf("looping ratio = %v", res.LoopingRatio)
+	}
+}
+
+func TestRunCliqueTDown(t *testing.T) {
+	res, err := Run(CliqueTDown(8, bgp.DefaultConfig(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation 1: looping persists through almost the whole T_down
+	// convergence. Demand at least half here (paper: "only a few seconds
+	// shorter").
+	if res.LoopingDuration < res.ConvergenceTime/2 {
+		t.Errorf("looping %v too short vs convergence %v", res.LoopingDuration, res.ConvergenceTime)
+	}
+	if res.LoopingDuration > res.ConvergenceTime+time.Second {
+		t.Errorf("looping %v exceeds convergence %v by more than a second", res.LoopingDuration, res.ConvergenceTime)
+	}
+	// T_down in a clique of 8: substantial looping ratio (paper: >65% at
+	// size >= 15; smaller cliques are a bit lower).
+	if res.LoopingRatio < 0.2 {
+		t.Errorf("looping ratio = %v, expected heavy looping", res.LoopingRatio)
+	}
+	// The final update of T_down is a withdrawal and afterwards nothing
+	// is routable, so every loop must be resolved.
+	for _, l := range res.Loops {
+		if !l.Resolved {
+			t.Errorf("unresolved loop after T_down convergence: %v", l)
+		}
+	}
+	if res.Withdrawals == 0 {
+		t.Error("T_down produced no withdrawals")
+	}
+}
+
+func TestRunBCliqueTLong(t *testing.T) {
+	res, err := Run(BCliqueTLong(6, bgp.DefaultConfig(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConvergenceTime <= 0 {
+		t.Error("no convergence")
+	}
+	if res.TTLExhaustions == 0 {
+		t.Error("B-Clique T_long produced no looping")
+	}
+	// T_long must leave the destination reachable: the loops all resolve
+	// and packets are eventually delivered during convergence too.
+	if res.Replay.Delivered == 0 {
+		t.Error("no packet was delivered during T_long convergence")
+	}
+	for _, l := range res.Loops {
+		if !l.Resolved {
+			t.Errorf("unresolved loop after T_long convergence: %v", l)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	s := CliqueTDown(6, bgp.DefaultConfig(), 7)
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConvergenceTime != b.ConvergenceTime ||
+		a.TTLExhaustions != b.TTLExhaustions ||
+		a.UpdatesSent != b.UpdatesSent ||
+		a.FIBChanges != b.FIBChanges {
+		t.Errorf("same-seed runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunEventBudget(t *testing.T) {
+	s := CliqueTDown(8, bgp.DefaultConfig(), 1)
+	s.MaxEvents = 10
+	if _, err := Run(s); !errors.Is(err, ErrNoQuiescence) {
+		t.Errorf("tiny budget err = %v, want ErrNoQuiescence", err)
+	}
+}
+
+func TestRunTrialsAggregate(t *testing.T) {
+	agg, results, err := RunTrials(Repeat(CliqueTDown(5, bgp.DefaultConfig(), 10)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Trials != 3 || len(results) != 3 {
+		t.Fatalf("trials = %d, results = %d", agg.Trials, len(results))
+	}
+	if agg.ConvergenceSec.N != 3 || agg.ConvergenceSec.Mean <= 0 {
+		t.Errorf("convergence sample = %+v", agg.ConvergenceSec)
+	}
+	// Different seeds must actually be used.
+	if results[0].Seed == results[1].Seed {
+		t.Error("Repeat did not vary the seed")
+	}
+}
+
+func TestRunTrialsBadCount(t *testing.T) {
+	if _, _, err := RunTrials(Repeat(CliqueTDown(4, bgp.DefaultConfig(), 1)), 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestInternetGenerators(t *testing.T) {
+	cfg := bgp.DefaultConfig()
+	gen := InternetTDown(29, cfg, 5)
+	s, err := gen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated T_down scenario invalid: %v", err)
+	}
+	// The paper draws the destination from the lowest-degree nodes.
+	lows := topology.LowestDegreeNodes(s.Graph)
+	found := false
+	for _, v := range lows {
+		if v == s.Dest {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("T_down destination %d is not a lowest-degree node %v", s.Dest, lows)
+	}
+
+	genL := InternetTLong(29, cfg, 5)
+	sl, err := genL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Validate(); err != nil {
+		t.Fatalf("generated T_long scenario invalid: %v", err)
+	}
+	// The failed link must touch the destination.
+	if sl.FailLink.A != sl.Dest && sl.FailLink.B != sl.Dest {
+		t.Errorf("T_long fails %v, not incident to destination %d", sl.FailLink, sl.Dest)
+	}
+}
+
+func TestRunInternetTDownSmall(t *testing.T) {
+	agg, _, err := RunTrials(InternetTDown(29, bgp.DefaultConfig(), 11), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.ConvergenceSec.Mean <= 0 {
+		t.Error("no convergence measured on internet-29")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if TDown.String() != "Tdown" || TLong.String() != "Tlong" {
+		t.Error("EventKind names wrong")
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown EventKind empty")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	cfg := bgp.DefaultConfig()
+	c2 := WithMRAI(cfg, 5*time.Second)
+	if c2.MRAI != 5*time.Second || cfg.MRAI != bgp.DefaultMRAI {
+		t.Error("WithMRAI wrong or mutated input")
+	}
+	c3 := WithEnhancements(cfg, bgp.Enhancements{SSLD: true})
+	if !c3.Enhancements.SSLD || cfg.Enhancements.SSLD {
+		t.Error("WithEnhancements wrong or mutated input")
+	}
+}

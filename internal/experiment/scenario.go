@@ -1,0 +1,144 @@
+// Package experiment assembles full simulation scenarios — topology,
+// speakers, failure event, packet workload — runs them to quiescence, and
+// extracts the paper's metrics (§4.2): convergence time, overall looping
+// duration, number of TTL exhaustions, and looping ratio.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/dataplane"
+	"bgploop/internal/topology"
+)
+
+// EventKind selects the paper's topology-change event.
+type EventKind int
+
+const (
+	// TDown makes the destination AS unreachable: every link of the
+	// destination fails simultaneously.
+	TDown EventKind = iota + 1
+	// TLong fails a single link, forcing the network onto less-preferred
+	// (longer) paths without disconnecting the destination.
+	TLong
+)
+
+// String names the event as in the paper.
+func (k EventKind) String() string {
+	switch k {
+	case TDown:
+		return "Tdown"
+	case TLong:
+		return "Tlong"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	// Graph is the AS topology. It is not mutated by Run.
+	Graph *topology.Graph
+	// Dest is the destination AS; every other AS hosts a packet source.
+	Dest topology.Node
+	// Event is the topology change to inject after initial convergence.
+	Event EventKind
+	// FailLink is the link failed by a TLong event; ignored for TDown.
+	FailLink topology.Edge
+	// BGP configures every speaker.
+	BGP bgp.Config
+	// PacketInterval is the per-source constant packet gap
+	// (dataplane.DefaultInterval if zero).
+	PacketInterval time.Duration
+	// TTL is the initial packet TTL (dataplane.DefaultTTL if zero).
+	TTL int
+	// LinkDelay is the propagation delay per link (2 ms if zero).
+	LinkDelay time.Duration
+	// SettleDelay separates initial convergence from the failure
+	// injection (1 s if zero).
+	SettleDelay time.Duration
+	// Seed drives all randomness in the run.
+	Seed int64
+	// MaxEvents guards against runaway simulations (50M if zero).
+	MaxEvents uint64
+	// TraceLimit, when positive, records up to that many protocol events
+	// (updates sent, route changes) into Result.Trace.
+	TraceLimit int
+	// RestoreDelay, when positive, repairs the failed link(s) that long
+	// after the post-failure convergence quiesces — a T_up recovery event
+	// (an extension beyond the paper) — and records the recovery phase in
+	// Result.Recovery.
+	RestoreDelay time.Duration
+	// FlapCycles, when positive, runs that many fail+repair cycles of the
+	// configured event *before* the measured failure. With route flap
+	// damping enabled (bgp.Config.Damping) the pre-flaps accumulate
+	// penalties, changing how the measured failure unfolds.
+	FlapCycles int
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.PacketInterval == 0 {
+		s.PacketInterval = dataplane.DefaultInterval
+	}
+	if s.TTL == 0 {
+		s.TTL = dataplane.DefaultTTL
+	}
+	if s.LinkDelay == 0 {
+		s.LinkDelay = 2 * time.Millisecond
+	}
+	if s.SettleDelay == 0 {
+		s.SettleDelay = time.Second
+	}
+	if s.MaxEvents == 0 {
+		s.MaxEvents = 50_000_000
+	}
+	return s
+}
+
+// Validate reports scenario construction errors.
+func (s Scenario) Validate() error {
+	if s.Graph == nil {
+		return errors.New("experiment: nil topology")
+	}
+	if !s.Graph.Valid(s.Dest) {
+		return fmt.Errorf("experiment: destination %d not in topology", s.Dest)
+	}
+	if !s.Graph.Connected() {
+		return errors.New("experiment: topology must start connected")
+	}
+	switch s.Event {
+	case TDown:
+		// Nothing else to check.
+	case TLong:
+		if !s.Graph.HasEdge(s.FailLink.A, s.FailLink.B) {
+			return fmt.Errorf("experiment: Tlong link %v not in topology", s.FailLink)
+		}
+		if !s.Graph.ConnectedWithout(s.FailLink) {
+			return fmt.Errorf("experiment: Tlong link %v is a bridge; failing it would disconnect the network", s.FailLink)
+		}
+	default:
+		return fmt.Errorf("experiment: unknown event kind %d", int(s.Event))
+	}
+	if s.FlapCycles < 0 {
+		return fmt.Errorf("experiment: negative flap cycles %d", s.FlapCycles)
+	}
+	if err := s.BGP.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TDownScenario builds the paper's T_down experiment on g: destination AS
+// dest becomes unreachable.
+func TDownScenario(g *topology.Graph, dest topology.Node, cfg bgp.Config, seed int64) Scenario {
+	return Scenario{Graph: g, Dest: dest, Event: TDown, BGP: cfg, Seed: seed}
+}
+
+// TLongScenario builds the paper's T_long experiment on g: link fails but
+// dest stays reachable over longer paths.
+func TLongScenario(g *topology.Graph, dest topology.Node, link topology.Edge, cfg bgp.Config, seed int64) Scenario {
+	return Scenario{Graph: g, Dest: dest, Event: TLong, FailLink: link, BGP: cfg, Seed: seed}
+}

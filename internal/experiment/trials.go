@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/des"
+	"bgploop/internal/metrics"
+	"bgploop/internal/topology"
+)
+
+// Aggregate summarises a metric set over replicated trials.
+type Aggregate struct {
+	Trials int
+	// ConvergenceSec and LoopingDurationSec are in seconds for direct use
+	// as figure series.
+	ConvergenceSec     metrics.Sample
+	LoopingDurationSec metrics.Sample
+	TTLExhaustions     metrics.Sample
+	LoopingRatio       metrics.Sample
+	PacketsSent        metrics.Sample
+	UpdatesSent        metrics.Sample
+	LoopCount          metrics.Sample
+	MaxLoopSize        metrics.Sample
+}
+
+// Generator produces the scenario for trial i. Trials typically differ in
+// seed, and — for Internet-like topologies — in destination and failed
+// link, mirroring the paper's "repeated ... with different destination
+// ASes and failed links".
+type Generator func(trial int) (Scenario, error)
+
+// RunTrials executes trials scenarios from gen and aggregates the metric
+// samples. It returns the aggregate and the individual results.
+func RunTrials(gen Generator, trials int) (Aggregate, []*Result, error) {
+	if trials <= 0 {
+		return Aggregate{}, nil, fmt.Errorf("experiment: non-positive trial count %d", trials)
+	}
+	var (
+		results  []*Result
+		conv     []float64
+		loopDur  []float64
+		exhaust  []float64
+		ratio    []float64
+		packets  []float64
+		updates  []float64
+		loopCnt  []float64
+		maxLoopN []float64
+	)
+	for i := 0; i < trials; i++ {
+		s, err := gen(i)
+		if err != nil {
+			return Aggregate{}, nil, fmt.Errorf("experiment: trial %d: %w", i, err)
+		}
+		res, err := Run(s)
+		if err != nil {
+			return Aggregate{}, nil, fmt.Errorf("experiment: trial %d: %w", i, err)
+		}
+		results = append(results, res)
+		conv = append(conv, res.ConvergenceTime.Seconds())
+		loopDur = append(loopDur, res.LoopingDuration.Seconds())
+		exhaust = append(exhaust, float64(res.TTLExhaustions))
+		ratio = append(ratio, res.LoopingRatio)
+		packets = append(packets, float64(res.PacketsSent))
+		updates = append(updates, float64(res.UpdatesSent))
+		loopCnt = append(loopCnt, float64(res.LoopStats.Count))
+		maxLoopN = append(maxLoopN, float64(res.LoopStats.MaxSize))
+	}
+	agg := Aggregate{
+		Trials:             trials,
+		ConvergenceSec:     metrics.NewSample(conv),
+		LoopingDurationSec: metrics.NewSample(loopDur),
+		TTLExhaustions:     metrics.NewSample(exhaust),
+		LoopingRatio:       metrics.NewSample(ratio),
+		PacketsSent:        metrics.NewSample(packets),
+		UpdatesSent:        metrics.NewSample(updates),
+		LoopCount:          metrics.NewSample(loopCnt),
+		MaxLoopSize:        metrics.NewSample(maxLoopN),
+	}
+	return agg, results, nil
+}
+
+// Repeat builds a Generator that reuses one scenario with per-trial seeds
+// (seed, seed+1, ...). Suitable for Clique/B-Clique experiments where only
+// jitter and processing randomness vary across trials.
+func Repeat(s Scenario) Generator {
+	return func(trial int) (Scenario, error) {
+		out := s
+		out.Seed = s.Seed + int64(trial)
+		return out, nil
+	}
+}
+
+// InternetTDown builds a Generator for the paper's Internet-topology
+// T_down runs: each trial generates the n-node Internet-like topology,
+// picks the destination uniformly among the lowest-degree ASes, and fails
+// it. The topology itself is fixed across trials (as in the paper, which
+// reused the derived graphs); destination choice and all protocol
+// randomness vary per trial.
+func InternetTDown(n int, cfg bgp.Config, seed int64) Generator {
+	return func(trial int) (Scenario, error) {
+		g, err := topology.InternetLike(n, seed)
+		if err != nil {
+			return Scenario{}, err
+		}
+		pick := des.NewRNG(seed + int64(trial)).Stream(fmt.Sprintf("experiment/dest/%d", n))
+		lows := topology.LowestDegreeNodes(g)
+		dest := lows[pick.Intn(len(lows))]
+		s := TDownScenario(g, dest, cfg, seed+int64(trial))
+		return s, nil
+	}
+}
+
+// InternetTLong builds a Generator for the Internet-topology T_long runs:
+// the destination is drawn from the lowest-degree ASes that have at least
+// one incident non-bridge link, and one such link is failed at random.
+func InternetTLong(n int, cfg bgp.Config, seed int64) Generator {
+	return func(trial int) (Scenario, error) {
+		g, err := topology.InternetLike(n, seed)
+		if err != nil {
+			return Scenario{}, err
+		}
+		pick := des.NewRNG(seed + int64(trial)).Stream(fmt.Sprintf("experiment/tlong/%d", n))
+		// The paper fails "one of its [the destination's] links", so the
+		// destination must survive the failure: restrict to the
+		// lowest-degree nodes that have at least one incident non-bridge
+		// link (multi-homed stubs).
+		type choice struct {
+			dest topology.Node
+			link topology.Edge
+		}
+		var (
+			choices   []choice
+			minDegree = -1
+		)
+		for _, dest := range g.Nodes() {
+			edges := topology.NonBridgeIncidentEdges(g, dest)
+			if len(edges) == 0 {
+				continue
+			}
+			d := g.Degree(dest)
+			if minDegree == -1 || d < minDegree {
+				minDegree = d
+				choices = choices[:0]
+			}
+			if d == minDegree {
+				for _, e := range edges {
+					choices = append(choices, choice{dest: dest, link: e})
+				}
+			}
+		}
+		if len(choices) == 0 {
+			return Scenario{}, fmt.Errorf("experiment: no failable T_long link in internet-%d", n)
+		}
+		c := choices[pick.Intn(len(choices))]
+		return TLongScenario(g, c.dest, c.link, cfg, seed+int64(trial)), nil
+	}
+}
+
+// BCliqueTLong builds the paper's B-Clique T_long scenario: destination
+// AS 0, failing the [0, n] shortcut.
+func BCliqueTLong(n int, cfg bgp.Config, seed int64) Scenario {
+	return TLongScenario(topology.BClique(n), 0, topology.BCliqueShortcut(n), cfg, seed)
+}
+
+// CliqueTDown builds the paper's Clique T_down scenario: destination AS 0
+// becomes unreachable.
+func CliqueTDown(n int, cfg bgp.Config, seed int64) Scenario {
+	return TDownScenario(topology.Clique(n), 0, cfg, seed)
+}
+
+// WithMRAI returns cfg with the MRAI replaced — convenience for sweeps.
+func WithMRAI(cfg bgp.Config, mrai time.Duration) bgp.Config {
+	cfg.MRAI = mrai
+	return cfg
+}
+
+// WithEnhancements returns cfg with the enhancement set replaced.
+func WithEnhancements(cfg bgp.Config, e bgp.Enhancements) bgp.Config {
+	cfg.Enhancements = e
+	return cfg
+}

@@ -1,0 +1,89 @@
+package figures
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtensionIDs(t *testing.T) {
+	ids := ExtensionIDs()
+	want := []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	if len(ids) != len(want) {
+		t.Fatalf("ExtensionIDs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ExtensionIDs = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range ids {
+		if Caption(id) == "" {
+			t.Errorf("extension %s has no caption", id)
+		}
+	}
+}
+
+func TestEveryExtensionRuns(t *testing.T) {
+	sc := tinyScale()
+	for _, id := range ExtensionIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("ragged row %v", row)
+				}
+			}
+		})
+	}
+}
+
+func TestX5RecoveryIsMilder(t *testing.T) {
+	sc := tinyScale()
+	tbl, err := Run("x5", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		failExh, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recExh, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recExh > failExh {
+			t.Errorf("%s: recovery exhaustions %v exceed failure-phase %v", row[0], recExh, failExh)
+		}
+	}
+}
+
+func TestX4PolicyReducesLooping(t *testing.T) {
+	sc := tinyScale()
+	sc.InternetTrials = 2
+	tbl, err := Run("x4", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	spExh, err := strconv.ParseFloat(tbl.Rows[0][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grExh, err := strconv.ParseFloat(tbl.Rows[1][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grExh > spExh {
+		t.Errorf("Gao-Rexford looping %v exceeds shortest-path %v", grExh, spExh)
+	}
+}

@@ -1,0 +1,247 @@
+// Package loopanalysis extracts exact transient-loop statistics from a
+// recorded FIB history and provides the paper's §3.2 analytic bounds.
+//
+// At every instant the FIBs of all nodes form a functional graph (each
+// node has at most one out-edge, its next hop); a routing loop is exactly
+// a cycle in that graph. The history changes only at recorded instants, so
+// scanning snapshots at those instants yields every loop, its member
+// nodes, and its precise lifetime — the per-loop statistics the paper
+// lists as future work, and an independent validation of the
+// TTL-exhaustion proxy used in its measurements.
+package loopanalysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bgploop/internal/dataplane"
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// Loop is one transient routing loop: a set of nodes that formed a
+// forwarding cycle during [Start, End).
+type Loop struct {
+	// Nodes lists the cycle in forwarding order, rotated so the smallest
+	// node ID comes first (canonical form).
+	Nodes []topology.Node
+	// Start is the instant the cycle appeared.
+	Start des.Time
+	// End is the instant the cycle broke. If the cycle persisted to the
+	// end of the analysis horizon, End is the horizon and Resolved is
+	// false.
+	End des.Time
+	// Resolved reports whether the loop was observed to break.
+	Resolved bool
+}
+
+// Size returns the number of nodes in the loop.
+func (l Loop) Size() int { return len(l.Nodes) }
+
+// Duration returns the loop's lifetime.
+func (l Loop) Duration() time.Duration { return l.End - l.Start }
+
+// String renders the loop as "loop{1->2->1, 3s..5s}".
+func (l Loop) String() string {
+	var b strings.Builder
+	b.WriteString("loop{")
+	for _, v := range l.Nodes {
+		fmt.Fprintf(&b, "%d->", v)
+	}
+	if len(l.Nodes) > 0 {
+		fmt.Fprintf(&b, "%d", l.Nodes[0])
+	}
+	fmt.Fprintf(&b, ", %v..%v}", l.Start, l.End)
+	return b.String()
+}
+
+// key returns the canonical identity of the cycle.
+func loopKey(nodes []topology.Node) string {
+	var b strings.Builder
+	for _, v := range nodes {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// FindLoops scans the FIB history up to horizon and returns every routing
+// loop interval, ordered by start time (ties by canonical node list). A
+// cycle that breaks and later re-forms with the same membership yields two
+// separate Loop entries.
+func FindLoops(h *dataplane.History, horizon des.Time) []Loop {
+	type active struct {
+		loop  Loop
+		alive bool
+	}
+	times := h.ChangeTimes()
+	// Always evaluate the initial state too.
+	grid := make([]des.Time, 0, len(times)+1)
+	grid = append(grid, 0)
+	for _, t := range times {
+		if t != 0 && t <= horizon {
+			grid = append(grid, t)
+		}
+	}
+
+	open := make(map[string]*active)
+	var out []Loop
+	next := make([]topology.Node, h.NumNodes())
+
+	for _, t := range grid {
+		h.Snapshot(t, next)
+		cycles := findCycles(next)
+		// Mark all open loops dead, then revive the ones still present.
+		for _, a := range open {
+			a.alive = false
+		}
+		for _, c := range cycles {
+			k := loopKey(c)
+			if a, ok := open[k]; ok {
+				a.alive = true
+				continue
+			}
+			open[k] = &active{
+				loop:  Loop{Nodes: c, Start: t},
+				alive: true,
+			}
+		}
+		for k, a := range open {
+			if a.alive {
+				continue
+			}
+			a.loop.End = t
+			a.loop.Resolved = true
+			out = append(out, a.loop)
+			delete(open, k)
+		}
+	}
+	for _, a := range open {
+		a.loop.End = horizon
+		out = append(out, a.loop)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return loopKey(out[i].Nodes) < loopKey(out[j].Nodes)
+	})
+	return out
+}
+
+// findCycles returns every cycle of the functional graph next (next[v] is
+// v's out-edge or topology.None), each rotated to start at its smallest
+// node. Standard three-color iteration, O(n).
+func findCycles(next []topology.Node) [][]topology.Node {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current walk
+		black = 2 // finished
+	)
+	state := make([]uint8, len(next))
+	pos := make([]int, len(next)) // index of node within the current walk
+	var cycles [][]topology.Node
+
+	for s := range next {
+		if state[s] != white {
+			continue
+		}
+		var walk []topology.Node
+		v := topology.Node(s)
+		for {
+			if v == topology.None || int(v) >= len(next) {
+				break
+			}
+			if state[v] == black {
+				break
+			}
+			if state[v] == gray {
+				// Found a cycle: walk[pos[v]:] is the cycle body.
+				cycle := append([]topology.Node(nil), walk[pos[v]:]...)
+				cycles = append(cycles, canonical(cycle))
+				break
+			}
+			state[v] = gray
+			pos[v] = len(walk)
+			walk = append(walk, v)
+			v = next[v]
+		}
+		for _, u := range walk {
+			state[u] = black
+		}
+	}
+	return cycles
+}
+
+// canonical rotates the cycle so its smallest node comes first.
+func canonical(cycle []topology.Node) []topology.Node {
+	if len(cycle) == 0 {
+		return cycle
+	}
+	min := 0
+	for i, v := range cycle {
+		if v < cycle[min] {
+			min = i
+		}
+	}
+	out := make([]topology.Node, 0, len(cycle))
+	out = append(out, cycle[min:]...)
+	out = append(out, cycle[:min]...)
+	return out
+}
+
+// Stats aggregates a set of loop intervals.
+type Stats struct {
+	Count       int
+	MaxSize     int
+	MaxDuration time.Duration
+	// TotalLoopTime sums all loop durations (overlapping loops counted
+	// separately).
+	TotalLoopTime time.Duration
+	// Span is the interval from the first loop's birth to the last
+	// loop's resolution — comparable to the paper's "overall looping
+	// duration" measured via TTL exhaustion.
+	SpanStart, SpanEnd des.Time
+}
+
+// Span returns the overall extent of looping (zero when no loops).
+func (s Stats) Span() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SpanEnd - s.SpanStart
+}
+
+// Summarize computes Stats over loops.
+func Summarize(loops []Loop) Stats {
+	var s Stats
+	for i, l := range loops {
+		s.Count++
+		if l.Size() > s.MaxSize {
+			s.MaxSize = l.Size()
+		}
+		if l.Duration() > s.MaxDuration {
+			s.MaxDuration = l.Duration()
+		}
+		s.TotalLoopTime += l.Duration()
+		if i == 0 || l.Start < s.SpanStart {
+			s.SpanStart = l.Start
+		}
+		if l.End > s.SpanEnd {
+			s.SpanEnd = l.End
+		}
+	}
+	return s
+}
+
+// WorstCaseResolution returns the paper's §3.2 bound: resolving a single
+// m-node loop can take up to (m-1) x MRAI, because the resolving path
+// update may be delayed by the MRAI timer at each of m-1 hops around the
+// loop.
+func WorstCaseResolution(size int, mrai time.Duration) time.Duration {
+	if size < 2 {
+		return 0
+	}
+	return time.Duration(size-1) * mrai
+}

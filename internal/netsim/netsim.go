@@ -1,0 +1,227 @@
+// Package netsim models the message-passing network between BGP speakers:
+// point-to-point links with propagation delay, reliable in-order delivery
+// (the TCP abstraction BGP runs over), and link/node failure events.
+//
+// Delivery ordering: each link imposes a constant propagation delay and the
+// DES kernel breaks timestamp ties in insertion order, so messages sent
+// over one link arrive exactly in the order they were sent — the in-order
+// guarantee TCP provides to BGP.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// DefaultLinkDelay is the paper's link propagation delay (§4.2: "We set the
+// link delay to 2 milliseconds").
+const DefaultLinkDelay = 2 * time.Millisecond
+
+// ErrLinkDown is returned by Send when the link is absent or failed. A
+// speaker may legitimately race a queued timer against a failure event, so
+// callers treat this as "message not sent", not as a fatal error.
+var ErrLinkDown = errors.New("netsim: link down")
+
+// Handler receives network callbacks for one node. Implementations are
+// expected to be BGP speakers but the network is payload-agnostic.
+type Handler interface {
+	// Deliver is invoked at the virtual instant a message arrives.
+	Deliver(from topology.Node, payload any)
+	// PeerDown is invoked when the session to peer is lost. Failure
+	// detection is immediate, matching the paper's model.
+	PeerDown(peer topology.Node)
+	// PeerUp is invoked when the session to peer (re)establishes after a
+	// RestoreLink/RestoreNode event.
+	PeerUp(peer topology.Node)
+}
+
+// Stats counts network-level message events.
+type Stats struct {
+	Sent      int // messages accepted for delivery
+	Delivered int // messages handed to the destination handler
+	Lost      int // in-flight messages destroyed by a link failure
+}
+
+// Network connects handlers according to a topology graph and delivers
+// payloads between them with per-link delay.
+type Network struct {
+	sched    *des.Scheduler
+	graph    *topology.Graph
+	delay    time.Duration
+	handlers map[topology.Node]Handler
+	down     map[topology.Edge]bool
+
+	// inflight tracks undelivered messages per link so that a failure can
+	// destroy them (a failed link delivers nothing, and BGP's TCP session
+	// dies with the link).
+	inflight map[topology.Edge]map[uint64]des.Handle
+	nextID   uint64
+
+	stats Stats
+}
+
+// New creates a network over g with the given per-link propagation delay
+// (DefaultLinkDelay if zero). Handlers are attached with Attach.
+func New(sched *des.Scheduler, g *topology.Graph, delay time.Duration) *Network {
+	if delay <= 0 {
+		delay = DefaultLinkDelay
+	}
+	return &Network{
+		sched:    sched,
+		graph:    g,
+		delay:    delay,
+		handlers: make(map[topology.Node]Handler, g.NumNodes()),
+		down:     make(map[topology.Edge]bool),
+		inflight: make(map[topology.Edge]map[uint64]des.Handle),
+	}
+}
+
+// Attach registers the handler for node v, replacing any previous one.
+func (n *Network) Attach(v topology.Node, h Handler) {
+	n.handlers[v] = h
+}
+
+// Graph returns the underlying topology (shared, not a copy).
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// LinkDelay returns the per-link propagation delay.
+func (n *Network) LinkDelay() time.Duration { return n.delay }
+
+// Stats returns a snapshot of the message counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// LinkUp reports whether the (a, b) link exists and has not failed.
+func (n *Network) LinkUp(a, b topology.Node) bool {
+	e := topology.NormEdge(a, b)
+	return n.graph.HasEdge(a, b) && !n.down[e]
+}
+
+// UpNeighbors returns v's neighbors over currently-up links, sorted.
+func (n *Network) UpNeighbors(v topology.Node) []topology.Node {
+	var out []topology.Node
+	for _, u := range n.graph.Neighbors(v) {
+		if n.LinkUp(v, u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Send schedules payload for delivery from 'from' to 'to' after the link
+// delay. It returns ErrLinkDown if the link is absent or failed.
+func (n *Network) Send(from, to topology.Node, payload any) error {
+	if !n.LinkUp(from, to) {
+		return fmt.Errorf("%w: %v", ErrLinkDown, topology.NormEdge(from, to))
+	}
+	e := topology.NormEdge(from, to)
+	id := n.nextID
+	n.nextID++
+	h, err := n.sched.After(n.delay, func() {
+		n.deliver(e, id, from, to, payload)
+	})
+	if err != nil {
+		return fmt.Errorf("netsim: schedule delivery: %w", err)
+	}
+	if n.inflight[e] == nil {
+		n.inflight[e] = make(map[uint64]des.Handle)
+	}
+	n.inflight[e][id] = h
+	n.stats.Sent++
+	return nil
+}
+
+func (n *Network) deliver(e topology.Edge, id uint64, from, to topology.Node, payload any) {
+	delete(n.inflight[e], id)
+	h := n.handlers[to]
+	if h == nil {
+		return
+	}
+	n.stats.Delivered++
+	h.Deliver(from, payload)
+}
+
+// FailLink schedules the failure of link (a, b) at virtual time 'at'. At
+// that instant the link stops carrying traffic, all in-flight messages on
+// it are destroyed, and both endpoints receive PeerDown. Failing an
+// already-failed or non-existent link is a scheduled no-op.
+func (n *Network) FailLink(at des.Time, a, b topology.Node) error {
+	if _, err := n.sched.At(at, func() { n.failLinkNow(a, b) }); err != nil {
+		return fmt.Errorf("netsim: schedule link failure: %w", err)
+	}
+	return nil
+}
+
+// FailNode schedules the simultaneous failure of every link incident to v
+// at virtual time 'at' — the paper's T_down event ("the destination AS
+// becomes unreachable from the rest of the network").
+func (n *Network) FailNode(at des.Time, v topology.Node) error {
+	if _, err := n.sched.At(at, func() {
+		for _, e := range n.graph.IncidentEdges(v) {
+			n.failLinkNow(e.A, e.B)
+		}
+	}); err != nil {
+		return fmt.Errorf("netsim: schedule node failure: %w", err)
+	}
+	return nil
+}
+
+// RestoreLink schedules the repair of link (a, b) at virtual time 'at':
+// the link carries traffic again and both endpoints receive PeerUp.
+// Restoring a link that is up or absent is a scheduled no-op.
+func (n *Network) RestoreLink(at des.Time, a, b topology.Node) error {
+	if _, err := n.sched.At(at, func() { n.restoreLinkNow(a, b) }); err != nil {
+		return fmt.Errorf("netsim: schedule link restore: %w", err)
+	}
+	return nil
+}
+
+// RestoreNode schedules the repair of every failed link incident to v at
+// virtual time 'at' — the recovery (T_up) counterpart of FailNode.
+func (n *Network) RestoreNode(at des.Time, v topology.Node) error {
+	if _, err := n.sched.At(at, func() {
+		for _, e := range n.graph.IncidentEdges(v) {
+			n.restoreLinkNow(e.A, e.B)
+		}
+	}); err != nil {
+		return fmt.Errorf("netsim: schedule node restore: %w", err)
+	}
+	return nil
+}
+
+func (n *Network) restoreLinkNow(a, b topology.Node) {
+	e := topology.NormEdge(a, b)
+	if !n.graph.HasEdge(a, b) || !n.down[e] {
+		return
+	}
+	delete(n.down, e)
+	if h := n.handlers[e.A]; h != nil {
+		h.PeerUp(e.B)
+	}
+	if h := n.handlers[e.B]; h != nil {
+		h.PeerUp(e.A)
+	}
+}
+
+func (n *Network) failLinkNow(a, b topology.Node) {
+	e := topology.NormEdge(a, b)
+	if !n.graph.HasEdge(a, b) || n.down[e] {
+		return
+	}
+	n.down[e] = true
+	for id, h := range n.inflight[e] {
+		if h.Cancel() {
+			n.stats.Lost++
+		}
+		delete(n.inflight[e], id)
+	}
+	if h := n.handlers[e.A]; h != nil {
+		h.PeerDown(e.B)
+	}
+	if h := n.handlers[e.B]; h != nil {
+		h.PeerDown(e.A)
+	}
+}

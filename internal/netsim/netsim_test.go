@@ -1,0 +1,277 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// recorder is a test Handler that logs every callback with its time.
+type recorder struct {
+	sched      *des.Scheduler
+	deliveries []delivery
+	peerDowns  []topology.Node
+	peerUps    []topology.Node
+}
+
+type delivery struct {
+	from    topology.Node
+	payload any
+	at      des.Time
+}
+
+func (r *recorder) Deliver(from topology.Node, payload any) {
+	r.deliveries = append(r.deliveries, delivery{from: from, payload: payload, at: r.sched.Now()})
+}
+
+func (r *recorder) PeerDown(peer topology.Node) {
+	r.peerDowns = append(r.peerDowns, peer)
+}
+
+func (r *recorder) PeerUp(peer topology.Node) {
+	r.peerUps = append(r.peerUps, peer)
+}
+
+func build(t *testing.T, g *topology.Graph, delay time.Duration) (*des.Scheduler, *Network, map[topology.Node]*recorder) {
+	t.Helper()
+	sched := des.NewScheduler()
+	net := New(sched, g, delay)
+	recs := make(map[topology.Node]*recorder)
+	for _, v := range g.Nodes() {
+		r := &recorder{sched: sched}
+		recs[v] = r
+		net.Attach(v, r)
+	}
+	return sched, net, recs
+}
+
+func TestSendDeliversAfterDelay(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, 2*time.Millisecond)
+	if err := net.Send(0, 1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	d := recs[1].deliveries
+	if len(d) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(d))
+	}
+	if d[0].from != 0 || d[0].payload != "hello" {
+		t.Errorf("delivery = %+v", d[0])
+	}
+	if d[0].at != 2*time.Millisecond {
+		t.Errorf("delivered at %v, want 2ms", d[0].at)
+	}
+	if s := net.Stats(); s.Sent != 1 || s.Delivered != 1 || s.Lost != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSendInOrder(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, DefaultLinkDelay)
+	for i := 0; i < 10; i++ {
+		if err := net.Send(0, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.Run()
+	for i, d := range recs[1].deliveries {
+		if d.payload != i {
+			t.Fatalf("delivery %d carried %v: out of order", i, d.payload)
+		}
+	}
+}
+
+func TestSendNoLink(t *testing.T) {
+	g := topology.Chain(3) // no 0-2 edge
+	_, net, _ := build(t, g, 0)
+	if err := net.Send(0, 2, "x"); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("Send over missing link = %v, want ErrLinkDown", err)
+	}
+}
+
+func TestFailLinkNotifiesBothEnds(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, 0)
+	if err := net.FailLink(5*time.Second, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[0].peerDowns) != 1 || recs[0].peerDowns[0] != 1 {
+		t.Errorf("node 0 peerDowns = %v", recs[0].peerDowns)
+	}
+	if len(recs[1].peerDowns) != 1 || recs[1].peerDowns[0] != 0 {
+		t.Errorf("node 1 peerDowns = %v", recs[1].peerDowns)
+	}
+	if net.LinkUp(0, 1) {
+		t.Error("link still up after failure")
+	}
+	if err := net.Send(0, 1, "x"); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("Send after failure = %v, want ErrLinkDown", err)
+	}
+}
+
+func TestFailLinkDestroysInflight(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, 10*time.Millisecond)
+	// Send at t=0; failure at t=5ms beats the 10ms delivery.
+	if err := net.Send(0, 1, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(5*time.Millisecond, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[1].deliveries) != 0 {
+		t.Errorf("in-flight message delivered across failed link: %v", recs[1].deliveries)
+	}
+	if s := net.Stats(); s.Lost != 1 {
+		t.Errorf("stats.Lost = %d, want 1", s.Lost)
+	}
+}
+
+func TestFailLinkIdempotent(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, 0)
+	if err := net.FailLink(time.Second, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(2*time.Second, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[0].peerDowns) != 1 {
+		t.Errorf("duplicate failure re-notified: %v", recs[0].peerDowns)
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	g := topology.Star(4) // hub 0 with spokes 1..3
+	sched, net, recs := build(t, g, 0)
+	if err := net.FailNode(time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	for _, spoke := range []topology.Node{1, 2, 3} {
+		if len(recs[spoke].peerDowns) != 1 || recs[spoke].peerDowns[0] != 0 {
+			t.Errorf("spoke %d peerDowns = %v", spoke, recs[spoke].peerDowns)
+		}
+		if net.LinkUp(0, spoke) {
+			t.Errorf("link 0-%d survived node failure", spoke)
+		}
+	}
+	if len(recs[0].peerDowns) != 3 {
+		t.Errorf("hub peerDowns = %v, want all three", recs[0].peerDowns)
+	}
+}
+
+func TestRestoreLink(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, 0)
+	if err := net.FailLink(time.Second, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RestoreLink(2*time.Second, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if !net.LinkUp(0, 1) {
+		t.Error("link still down after restore")
+	}
+	if len(recs[0].peerUps) != 1 || recs[0].peerUps[0] != 1 {
+		t.Errorf("node 0 peerUps = %v", recs[0].peerUps)
+	}
+	if len(recs[1].peerUps) != 1 || recs[1].peerUps[0] != 0 {
+		t.Errorf("node 1 peerUps = %v", recs[1].peerUps)
+	}
+	if err := net.Send(0, 1, "again"); err != nil {
+		t.Errorf("Send after restore failed: %v", err)
+	}
+	sched.Run()
+	if len(recs[1].deliveries) != 1 {
+		t.Errorf("post-restore delivery missing")
+	}
+}
+
+func TestRestoreIdempotent(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, 0)
+	// Restoring an up link is a no-op.
+	if err := net.RestoreLink(time.Second, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[0].peerUps) != 0 {
+		t.Errorf("restore of up link fired PeerUp: %v", recs[0].peerUps)
+	}
+}
+
+func TestRestoreNode(t *testing.T) {
+	g := topology.Star(4)
+	sched, net, recs := build(t, g, 0)
+	if err := net.FailNode(time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RestoreNode(2*time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	for _, spoke := range []topology.Node{1, 2, 3} {
+		if !net.LinkUp(0, spoke) {
+			t.Errorf("link 0-%d still down after node restore", spoke)
+		}
+		if len(recs[spoke].peerUps) != 1 {
+			t.Errorf("spoke %d peerUps = %v", spoke, recs[spoke].peerUps)
+		}
+	}
+	if len(recs[0].peerUps) != 3 {
+		t.Errorf("hub peerUps = %v", recs[0].peerUps)
+	}
+}
+
+func TestUpNeighbors(t *testing.T) {
+	g := topology.Clique(4)
+	sched, net, _ := build(t, g, 0)
+	if err := net.FailLink(time.Second, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	up := net.UpNeighbors(0)
+	if len(up) != 2 || up[0] != 1 || up[1] != 3 {
+		t.Errorf("UpNeighbors(0) = %v, want [1 3]", up)
+	}
+}
+
+func TestDefaultDelayApplied(t *testing.T) {
+	g := topology.Chain(2)
+	net := New(des.NewScheduler(), g, 0)
+	if net.LinkDelay() != DefaultLinkDelay {
+		t.Errorf("LinkDelay = %v, want %v", net.LinkDelay(), DefaultLinkDelay)
+	}
+}
+
+func TestSendToUnattachedNode(t *testing.T) {
+	g := topology.Chain(2)
+	sched := des.NewScheduler()
+	net := New(sched, g, 0)
+	// No handlers attached: delivery must be a safe no-op.
+	if err := net.Send(0, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if s := net.Stats(); s.Delivered != 0 {
+		t.Errorf("delivered to unattached node: %+v", s)
+	}
+}
+
+func TestGraphAccessor(t *testing.T) {
+	g := topology.Chain(2)
+	net := New(des.NewScheduler(), g, 0)
+	if net.Graph() != g {
+		t.Error("Graph() did not return the underlying topology")
+	}
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Figure X",
+		Caption: "a caption",
+		Columns: []string{"size", "value"},
+	}
+	t.AddRow("5", "1.25")
+	t.AddFloats("10", 2.0, 3.5)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## Figure X", "a caption", "size", "value", "1.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Header and separator and 2 rows plus title+caption.
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Errorf("line count = %d, want 6:\n%s", lines, out)
+	}
+}
+
+func TestAddFloatsFormatting(t *testing.T) {
+	tbl := &Table{Columns: []string{"x", "a", "b", "c"}}
+	tbl.AddFloats("r", 3.0, 0.123456, 12345.678)
+	row := tbl.Rows[0]
+	if row[1] != "3" {
+		t.Errorf("integer-valued float = %q, want 3", row[1])
+	}
+	if row[2] != "0.1235" {
+		t.Errorf("small float = %q, want 0.1235", row[2])
+	}
+	if row[3] != "12345.7" {
+		t.Errorf("large float = %q, want 12345.7", row[3])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("plain", `has,comma "and quote"`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"has,comma \"\"and quote\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	if s := sample().String(); !strings.Contains(s, "Figure X") {
+		t.Errorf("String output missing title: %q", s)
+	}
+	var empty Table
+	_ = empty.String()
+}

@@ -1,0 +1,50 @@
+package routing
+
+import "bgploop/internal/topology"
+
+// GaoRexford ranks candidate routes by business relationship before path
+// length: routes learned from customers are preferred over routes from
+// peers, which are preferred over routes from providers; ties fall back to
+// shortest AS path and then lowest next-hop ID. Together with the matching
+// export policy (bgp.GaoRexfordExport) this realises the classic
+// Gao-Rexford conditions under which policy routing is guaranteed to
+// converge.
+//
+// This is an extension beyond the paper, whose experiments use plain
+// shortest-path routing; it lets the harness study transient loops under
+// realistic routing policies.
+type GaoRexford struct {
+	// Self is the node applying the policy.
+	Self topology.Node
+	// Rel supplies the relationship annotations.
+	Rel *topology.Relationships
+}
+
+// Better implements Policy.
+func (g GaoRexford) Better(a, b Candidate) bool {
+	ca, cb := g.class(a.Peer), g.class(b.Peer)
+	if ca != cb {
+		return ca < cb
+	}
+	if a.Path.Len() != b.Path.Len() {
+		return a.Path.Len() < b.Path.Len()
+	}
+	return a.Peer < b.Peer
+}
+
+// class maps the route's learning relationship to a preference rank
+// (lower is better): customer 0, peer 1, provider 2, unannotated 3.
+func (g GaoRexford) class(peer topology.Node) int {
+	switch g.Rel.Kind(g.Self, peer) {
+	case topology.RelCustomer:
+		return 0
+	case topology.RelPeer:
+		return 1
+	case topology.RelProvider:
+		return 2
+	default:
+		return 3
+	}
+}
+
+var _ Policy = GaoRexford{}

@@ -1,0 +1,171 @@
+package routing
+
+import (
+	"sort"
+
+	"bgploop/internal/topology"
+)
+
+// Table is a node's routing state for a single destination: the adj-RIB-in
+// (the most recent path received from each neighbor, kept even when unused,
+// exactly as BGP keeps "a copy of the most recent paths received from each
+// of its neighbors") and the loc-RIB (the currently selected best path).
+//
+// The table stores the raw path exactly as the neighbor announced it even
+// when that path contains self; poison reverse is applied at selection
+// time. Retaining the raw path is required by the Assertion enhancement,
+// which reasons about what each neighbor currently claims.
+type Table struct {
+	self   topology.Node
+	dest   topology.Node
+	policy Policy
+
+	raw map[topology.Node]Path // peer -> last received path (nil = withdrawn)
+
+	best    Candidate
+	hasBest bool
+}
+
+// NewTable returns an empty table for the given node and destination. If
+// self == dest the node originates the destination and its best path is
+// permanently the one-element path (self).
+func NewTable(self, dest topology.Node, policy Policy) *Table {
+	t := &Table{
+		self:   self,
+		dest:   dest,
+		policy: policy,
+		raw:    make(map[topology.Node]Path),
+	}
+	t.recompute()
+	return t
+}
+
+// Self returns the owning node.
+func (t *Table) Self() topology.Node { return t.self }
+
+// Dest returns the destination (origin AS) this table routes toward.
+func (t *Table) Dest() topology.Node { return t.dest }
+
+// IsOrigin reports whether the owning node originates the destination.
+func (t *Table) IsOrigin() bool { return t.self == t.dest }
+
+// Update records path as the latest announcement from peer (nil for an
+// explicit withdrawal) and re-runs route selection. It reports whether the
+// node's best path changed.
+func (t *Table) Update(peer topology.Node, path Path) (changed bool) {
+	t.raw[peer] = path.Clone()
+	return t.recompute()
+}
+
+// Withdraw records an explicit withdrawal from peer.
+func (t *Table) Withdraw(peer topology.Node) (changed bool) {
+	return t.Update(peer, nil)
+}
+
+// RemovePeer erases all state learned from peer (session teardown) and
+// reports whether the best path changed. Unlike Withdraw it also forgets
+// the peer's adj-RIB-in entry entirely.
+func (t *Table) RemovePeer(peer topology.Node) (changed bool) {
+	if _, ok := t.raw[peer]; !ok {
+		return false
+	}
+	delete(t.raw, peer)
+	return t.recompute()
+}
+
+// Received returns the raw adj-RIB-in entry for peer and whether one
+// exists. The path may be nil (explicit withdrawal) and may contain self.
+func (t *Table) Received(peer topology.Node) (Path, bool) {
+	p, ok := t.raw[peer]
+	return p, ok
+}
+
+// PeersWithRoutes returns, in ascending order, the peers whose adj-RIB-in
+// entry currently holds a non-nil path.
+func (t *Table) PeersWithRoutes() []topology.Node {
+	var out []topology.Node
+	for peer, p := range t.raw {
+		if len(p) > 0 {
+			out = append(out, peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Invalidate clears (sets to nil) every adj-RIB-in entry for which keep
+// returns false, and reports whether the best path changed. It is the
+// primitive behind the Assertion enhancement's removal of obsolete paths.
+func (t *Table) Invalidate(keep func(peer topology.Node, path Path) bool) (changed bool) {
+	dirty := false
+	for peer, p := range t.raw {
+		if len(p) == 0 {
+			continue
+		}
+		if !keep(peer, p) {
+			t.raw[peer] = nil
+			dirty = true
+		}
+	}
+	if !dirty {
+		return false
+	}
+	return t.recompute()
+}
+
+// Best returns the node's current best path including itself (loc-RIB
+// form, e.g. (5 6 4 0) for node 5), or nil if the destination is
+// unreachable. The origin's best path is (self).
+func (t *Table) Best() Path {
+	if t.IsOrigin() {
+		return Path{t.self}
+	}
+	if !t.hasBest {
+		return nil
+	}
+	return t.best.Path.Prepend(t.self)
+}
+
+// NextHop returns the forwarding next hop: the selected neighbor, self for
+// the origin, or topology.None when unreachable.
+func (t *Table) NextHop() topology.Node {
+	if t.IsOrigin() {
+		return t.self
+	}
+	if !t.hasBest {
+		return topology.None
+	}
+	return t.best.Peer
+}
+
+// HasRoute reports whether the node currently has a route (always true for
+// the origin).
+func (t *Table) HasRoute() bool { return t.IsOrigin() || t.hasBest }
+
+// recompute re-runs route selection and reports whether the best changed.
+func (t *Table) recompute() bool {
+	if t.IsOrigin() {
+		// The origin's route is local and immutable.
+		return false
+	}
+	cands := make([]Candidate, 0, len(t.raw))
+	for peer, p := range t.raw {
+		if len(p) == 0 {
+			continue
+		}
+		cands = append(cands, Candidate{Peer: peer, Path: p})
+	}
+	newBest, found := Select(t.policy, t.self, cands)
+	if !found {
+		changed := t.hasBest
+		t.hasBest = false
+		t.best = Candidate{}
+		return changed
+	}
+	if t.hasBest && t.best.Peer == newBest.Peer && t.best.Path.Equal(newBest.Path) {
+		return false
+	}
+	t.best = newBest
+	t.hasBest = true
+	return true
+}

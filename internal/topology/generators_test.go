@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(50, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Error("BA graph disconnected")
+	}
+	// Seed mesh (1 edge for m=2) plus 2 edges per added node.
+	if want := 1 + 2*(50-2); g.NumEdges() != want {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	s := Summarize(g)
+	if s.MaxDegree < 3*s.MinDegree {
+		t.Errorf("BA degree distribution not skewed: %+v", s)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarabasiAlbertM1(t *testing.T) {
+	g, err := BarabasiAlbert(20, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("BA m=1 tree disconnected")
+	}
+	if g.NumEdges() != 19 {
+		t.Errorf("BA m=1 edges = %d, want 19 (a tree)", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(5, 0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(3, 3, 1); err == nil {
+		t.Error("n<=m accepted")
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, err := BarabasiAlbert(30, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(30, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	g, err := Waxman(40, 0.9, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 40 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Error("Waxman graph disconnected after stitching")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaxmanErrors(t *testing.T) {
+	cases := []struct {
+		n           int
+		alpha, beta float64
+	}{
+		{1, 0.5, 0.5},
+		{10, 0, 0.5},
+		{10, 1.5, 0.5},
+		{10, 0.5, 0},
+	}
+	for _, c := range cases {
+		if _, err := Waxman(c.n, c.alpha, c.beta, 1); err == nil {
+			t.Errorf("Waxman(%d, %g, %g) accepted", c.n, c.alpha, c.beta)
+		}
+	}
+}
+
+func TestPropertyGeneratorsConnected(t *testing.T) {
+	f := func(sizeSeed uint8, seed int64) bool {
+		n := 5 + int(sizeSeed)%60
+		ba, err := BarabasiAlbert(n, 2, seed)
+		if err != nil || !ba.Connected() || ba.Validate() != nil {
+			return false
+		}
+		wx, err := Waxman(n, 0.8, 0.25, seed)
+		if err != nil || !wx.Connected() || wx.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

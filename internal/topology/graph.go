@@ -1,0 +1,350 @@
+// Package topology models AS-level network topologies for BGP simulation.
+//
+// It provides the topology families used in the paper's evaluation —
+// Clique, B-Clique (chain + clique), and "Internet-derived" graphs — plus
+// general graph construction, queries (connectivity, bridges, shortest
+// paths), and serialization. Nodes represent Autonomous Systems and edges
+// represent BGP peering sessions.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Node identifies an Autonomous System in a topology. Node IDs are dense:
+// a graph of n nodes uses IDs 0..n-1.
+type Node int
+
+// None is the sentinel "no node" value, used e.g. as a FIB next hop when a
+// destination is unreachable.
+const None Node = -1
+
+// Edge is an undirected adjacency between two ASes. Normalised edges have
+// A < B; use NormEdge to normalise.
+type Edge struct {
+	A, B Node
+}
+
+// NormEdge returns the edge with endpoints ordered so that A < B.
+func NormEdge(a, b Node) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// String renders the edge as "[a b]", matching the paper's link notation.
+func (e Edge) String() string { return fmt.Sprintf("[%d %d]", e.A, e.B) }
+
+// Graph is an undirected simple graph over nodes 0..n-1.
+// The zero value is an empty graph with no nodes; use New.
+type Graph struct {
+	n     int
+	adj   [][]Node // sorted adjacency lists
+	edges map[Edge]bool
+	name  string
+}
+
+// New returns an edgeless graph with n nodes (IDs 0..n-1).
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:     n,
+		adj:   make([][]Node, n),
+		edges: make(map[Edge]bool),
+	}
+}
+
+// Name returns the human-readable label of the graph ("clique-15", ...).
+func (g *Graph) Name() string {
+	if g.name == "" {
+		return fmt.Sprintf("graph-%d", g.n)
+	}
+	return g.name
+}
+
+// SetName sets the graph's label.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, g.n)
+	for i := range out {
+		out[i] = Node(i)
+	}
+	return out
+}
+
+// Valid reports whether v is a node of the graph.
+func (g *Graph) Valid(v Node) bool { return v >= 0 && int(v) < g.n }
+
+// AddEdge inserts the undirected edge (a, b). It returns an error for
+// self-loops or out-of-range endpoints; adding an existing edge is a no-op.
+func (g *Graph) AddEdge(a, b Node) error {
+	if !g.Valid(a) || !g.Valid(b) {
+		return fmt.Errorf("topology: edge %v out of range (n=%d)", NormEdge(a, b), g.n)
+	}
+	if a == b {
+		return fmt.Errorf("topology: self-loop at node %d", a)
+	}
+	e := NormEdge(a, b)
+	if g.edges[e] {
+		return nil
+	}
+	g.edges[e] = true
+	g.adj[a] = insertSorted(g.adj[a], b)
+	g.adj[b] = insertSorted(g.adj[b], a)
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (a, b) if present and reports
+// whether it existed.
+func (g *Graph) RemoveEdge(a, b Node) bool {
+	e := NormEdge(a, b)
+	if !g.edges[e] {
+		return false
+	}
+	delete(g.edges, e)
+	g.adj[a] = removeSorted(g.adj[a], b)
+	g.adj[b] = removeSorted(g.adj[b], a)
+	return true
+}
+
+// HasEdge reports whether the undirected edge (a, b) exists.
+func (g *Graph) HasEdge(a, b Node) bool { return g.edges[NormEdge(a, b)] }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is a
+// copy and safe to retain.
+func (g *Graph) Neighbors(v Node) []Node {
+	if !g.Valid(v) {
+		return nil
+	}
+	out := make([]Node, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v Node) int {
+	if !g.Valid(v) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Edges returns all edges sorted by (A, B).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// IncidentEdges returns the edges incident to v, sorted.
+func (g *Graph) IncidentEdges(v Node) []Edge {
+	nbrs := g.adj[v]
+	out := make([]Edge, 0, len(nbrs))
+	for _, u := range nbrs {
+		out = append(out, NormEdge(v, u))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.name = g.name
+	for e := range g.edges {
+		c.edges[e] = true
+	}
+	for v := range g.adj {
+		c.adj[v] = append([]Node(nil), g.adj[v]...)
+	}
+	return c
+}
+
+// Connected reports whether the graph is connected (an empty graph and a
+// single-node graph are connected).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return g.reachableFrom(0, Edge{A: None, B: None}) == g.n
+}
+
+// ConnectedWithout reports whether the graph remains connected after
+// removing edge e (i.e. whether e is not a bridge).
+func (g *Graph) ConnectedWithout(e Edge) bool {
+	if g.n <= 1 {
+		return true
+	}
+	return g.reachableFrom(0, NormEdge(e.A, e.B)) == g.n
+}
+
+// reachableFrom counts nodes reachable from start ignoring the edge skip.
+func (g *Graph) reachableFrom(start Node, skip Edge) int {
+	seen := make([]bool, g.n)
+	seen[start] = true
+	queue := []Node{start}
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if NormEdge(v, u) == skip || seen[u] {
+				continue
+			}
+			seen[u] = true
+			count++
+			queue = append(queue, u)
+		}
+	}
+	return count
+}
+
+// ShortestPathLens returns BFS hop counts from src to every node; -1 marks
+// unreachable nodes.
+func (g *Graph) ShortestPathLens(src Node) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.Valid(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []Node{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Bridges returns all bridge edges (edges whose removal disconnects the
+// graph), sorted. It uses the standard DFS low-link algorithm.
+func (g *Graph) Bridges() []Edge {
+	disc := make([]int, g.n)
+	low := make([]int, g.n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var out []Edge
+	timer := 0
+
+	// Iterative DFS to avoid recursion-depth limits on long chains.
+	type frame struct {
+		v, parent Node
+		idx       int
+	}
+	for s := 0; s < g.n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{v: Node(s), parent: None}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(g.adj[f.v]) {
+				u := g.adj[f.v][f.idx]
+				f.idx++
+				if u == f.parent {
+					continue
+				}
+				if disc[u] != -1 {
+					if disc[u] < low[f.v] {
+						low[f.v] = disc[u]
+					}
+					continue
+				}
+				disc[u] = timer
+				low[u] = timer
+				timer++
+				stack = append(stack, frame{v: u, parent: f.v})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				if low[f.v] > disc[p.v] {
+					out = append(out, NormEdge(p.v, f.v))
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Validate performs internal consistency checks (adjacency lists sorted and
+// symmetric with the edge set). It is used by tests and the topology tools.
+func (g *Graph) Validate() error {
+	seen := 0
+	for v, nbrs := range g.adj {
+		if !sort.SliceIsSorted(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] }) {
+			return fmt.Errorf("topology: adjacency of %d not sorted", v)
+		}
+		for _, u := range nbrs {
+			if !g.edges[NormEdge(Node(v), u)] {
+				return fmt.Errorf("topology: adjacency %d-%d missing from edge set", v, u)
+			}
+			seen++
+		}
+	}
+	if seen != 2*len(g.edges) {
+		return errors.New("topology: adjacency/edge-set cardinality mismatch")
+	}
+	return nil
+}
+
+func insertSorted(s []Node, v Node) []Node {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []Node, v Node) []Node {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

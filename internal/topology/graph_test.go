@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge 0-1 should exist in both directions")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	// Duplicate add is a no-op.
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges after dup add = %d, want 1", g.NumEdges())
+	}
+	if !g.RemoveEdge(1, 0) {
+		t.Error("RemoveEdge existing should report true")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge missing should report false")
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("edge survived removal")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := g.AddEdge(-1, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	g := New(5)
+	for _, b := range []Node{4, 2, 3, 1} {
+		if err := g.AddEdge(0, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nbrs := g.Neighbors(0)
+	want := []Node{1, 2, 3, 4}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", nbrs, want)
+		}
+	}
+	nbrs[0] = 99
+	if g.Neighbors(0)[0] != 1 {
+		t.Error("Neighbors returned internal slice, not a copy")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Clique(4)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("removing edge in clone affected original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"clique", Clique(5), true},
+		{"chain", Chain(5), true},
+		{"empty-2", New(2), false},
+		{"single", New(1), true},
+		{"zero", New(0), true},
+	}
+	for _, tt := range tests {
+		if got := tt.g.Connected(); got != tt.want {
+			t.Errorf("%s: Connected = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestConnectedWithout(t *testing.T) {
+	g := Ring(5)
+	// Removing any ring edge keeps it connected.
+	for _, e := range g.Edges() {
+		if !g.ConnectedWithout(e) {
+			t.Errorf("ring should survive removal of %v", e)
+		}
+	}
+	c := Chain(5)
+	for _, e := range c.Edges() {
+		if c.ConnectedWithout(e) {
+			t.Errorf("chain should be cut by removal of %v", e)
+		}
+	}
+}
+
+func TestShortestPathLens(t *testing.T) {
+	g := Chain(5)
+	d := g.ShortestPathLens(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Errorf("dist(0,%d) = %d, want %d", i, d[i], i)
+		}
+	}
+	g2 := New(3)
+	if err := g2.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := g2.ShortestPathLens(0)
+	if d2[2] != -1 {
+		t.Errorf("unreachable node dist = %d, want -1", d2[2])
+	}
+}
+
+func TestBridges(t *testing.T) {
+	// Chain: every edge is a bridge.
+	c := Chain(6)
+	if got := len(c.Bridges()); got != 5 {
+		t.Errorf("chain-6 bridges = %d, want 5", got)
+	}
+	// Ring: no bridges.
+	r := Ring(6)
+	if got := len(r.Bridges()); got != 0 {
+		t.Errorf("ring-6 bridges = %d, want 0", got)
+	}
+	// B-Clique: the chain edges are bridges; the clique and the two
+	// attachment edges form a cycle through the chain... actually the
+	// chain plus both attachment links forms one big cycle, so nothing
+	// is a bridge.
+	b := BClique(4)
+	if got := len(b.Bridges()); got != 0 {
+		t.Errorf("bclique-4 bridges = %d, want 0", got)
+	}
+}
+
+func TestBridgesMatchConnectedWithout(t *testing.T) {
+	// Cross-validate the DFS bridge finder against the BFS definition on
+	// random graphs.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(15)
+		g := Chain(n) // start connected
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			a, b := Node(rng.Intn(n)), Node(rng.Intn(n))
+			if a != b {
+				if err := g.AddEdge(a, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		bridges := make(map[Edge]bool)
+		for _, e := range g.Bridges() {
+			bridges[e] = true
+		}
+		for _, e := range g.Edges() {
+			if got, want := bridges[e], !g.ConnectedWithout(e); got != want {
+				t.Fatalf("trial %d: edge %v bridge=%v but ConnectedWithout=%v", trial, e, got, !want)
+			}
+		}
+	}
+}
+
+func TestPropertyInsertRemoveSorted(t *testing.T) {
+	f := func(vals []uint8) bool {
+		var s []Node
+		for _, v := range vals {
+			s = insertSorted(s, Node(v))
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				return false
+			}
+		}
+		for _, v := range vals {
+			s = removeSorted(s, Node(v))
+		}
+		return len(s) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := Clique(6)
+	if err := g.Validate(); err != nil {
+		t.Errorf("clique invalid: %v", err)
+	}
+	g.RemoveEdge(0, 1)
+	if err := g.Validate(); err != nil {
+		t.Errorf("clique after removal invalid: %v", err)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := Clique(5)
+	edges := g.Edges()
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.A > b.A || (a.A == b.A && a.B >= b.B) {
+			t.Fatalf("Edges not sorted at %d: %v then %v", i, a, b)
+		}
+	}
+}
+
+func TestNormEdge(t *testing.T) {
+	if NormEdge(5, 2) != (Edge{A: 2, B: 5}) {
+		t.Error("NormEdge did not order endpoints")
+	}
+	if NormEdge(2, 5) != NormEdge(5, 2) {
+		t.Error("NormEdge not symmetric")
+	}
+}

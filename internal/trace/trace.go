@@ -1,0 +1,207 @@
+// Package trace records protocol event traces from a simulation run: every
+// update sent, every best-path change, with virtual timestamps. The paper's
+// "next steps" section proposes examining route-change traces to measure
+// per-loop statistics; this package provides those traces, with filtering
+// and rendering for human inspection (bgpsim -trace).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/des"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+const (
+	// KindAnnounce is an announcement handed to the network.
+	KindAnnounce Kind = iota + 1
+	// KindWithdraw is a withdrawal handed to the network.
+	KindWithdraw
+	// KindRouteChange is a loc-RIB (FIB) change at a node.
+	KindRouteChange
+)
+
+// String names the kind for rendering.
+func (k Kind) String() string {
+	switch k {
+	case KindAnnounce:
+		return "announce"
+	case KindWithdraw:
+		return "withdraw"
+	case KindRouteChange:
+		return "route"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At   des.Time
+	Kind Kind
+	// Node is the acting node (sender for updates, owner for route
+	// changes).
+	Node topology.Node
+	// Peer is the update receiver (updates only).
+	Peer topology.Node
+	// Dest is the destination the event concerns.
+	Dest topology.Node
+	// Path is the announced path (announce) or the new best path (route
+	// change); nil for withdrawals and lost routes.
+	Path routing.Path
+	// NextHop is the new forwarding next hop (route changes only).
+	NextHop topology.Node
+}
+
+// String renders one event line, e.g.
+//
+//	12.345s  announce 5->6 dest 0 (5 4 0)
+//	12.345s  route    5    dest 0 nexthop 4 best (5 4 0)
+func (e Event) String() string {
+	at := e.At.String()
+	switch e.Kind {
+	case KindAnnounce:
+		return fmt.Sprintf("%-12s announce %d->%d dest %d %v", at, e.Node, e.Peer, e.Dest, e.Path)
+	case KindWithdraw:
+		return fmt.Sprintf("%-12s withdraw %d->%d dest %d", at, e.Node, e.Peer, e.Dest)
+	case KindRouteChange:
+		if e.NextHop == topology.None {
+			return fmt.Sprintf("%-12s route    %d unreachable dest %d", at, e.Node, e.Dest)
+		}
+		return fmt.Sprintf("%-12s route    %d dest %d nexthop %d best %v", at, e.Node, e.Dest, e.NextHop, e.Path)
+	default:
+		return fmt.Sprintf("%-12s ?", at)
+	}
+}
+
+// Recorder collects events as a bgp.Observer. A zero Recorder records
+// everything; set Limit and filters as needed. Recorder may wrap another
+// observer so tracing composes with metric collection.
+type Recorder struct {
+	// Next, when non-nil, also receives every callback (chaining).
+	Next bgp.Observer
+	// Limit caps the number of stored events (0 = unlimited). When the
+	// limit is reached, further events are counted but not stored.
+	Limit int
+	// OnlyNode restricts recording to one node when >= 0.
+	OnlyNode topology.Node
+	// Since drops events before this virtual time.
+	Since des.Time
+
+	events  []Event
+	dropped int
+}
+
+// NewRecorder returns a Recorder capturing all nodes from time zero.
+func NewRecorder(next bgp.Observer) *Recorder {
+	return &Recorder{Next: next, OnlyNode: topology.None}
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events were suppressed by Limit.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// RouteChanged implements bgp.Observer.
+func (r *Recorder) RouteChanged(now des.Time, node, dest, nexthop topology.Node, best routing.Path) {
+	if r.Next != nil {
+		r.Next.RouteChanged(now, node, dest, nexthop, best)
+	}
+	r.add(Event{At: now, Kind: KindRouteChange, Node: node, Dest: dest, NextHop: nexthop, Path: best.Clone()})
+}
+
+// UpdateSent implements bgp.Observer.
+func (r *Recorder) UpdateSent(now des.Time, from, to topology.Node, update bgp.Update) {
+	if r.Next != nil {
+		r.Next.UpdateSent(now, from, to, update)
+	}
+	kind := KindAnnounce
+	if update.Withdraw {
+		kind = KindWithdraw
+	}
+	r.add(Event{At: now, Kind: kind, Node: from, Peer: to, Dest: update.Dest, Path: update.Path.Clone()})
+}
+
+func (r *Recorder) add(e Event) {
+	if e.At < r.Since {
+		return
+	}
+	if r.OnlyNode != topology.None && e.Node != r.OnlyNode {
+		return
+	}
+	if r.Limit > 0 && len(r.events) >= r.Limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Filter returns the stored events satisfying keep.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Write renders all stored events, one per line.
+func (r *Recorder) Write(w io.Writer) error {
+	var b strings.Builder
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "... %d more events suppressed by trace limit\n", r.dropped)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary aggregates a trace into per-kind counts — handy in tests and
+// for the bgpsim footer line.
+type Summary struct {
+	Announces    int
+	Withdraws    int
+	RouteChanges int
+	FirstAt      des.Time
+	LastAt       des.Time
+}
+
+// Summarize computes a Summary over the stored events.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	for i, e := range r.events {
+		switch e.Kind {
+		case KindAnnounce:
+			s.Announces++
+		case KindWithdraw:
+			s.Withdraws++
+		case KindRouteChange:
+			s.RouteChanges++
+		}
+		if i == 0 || e.At < s.FirstAt {
+			s.FirstAt = e.At
+		}
+		if e.At > s.LastAt {
+			s.LastAt = e.At
+		}
+	}
+	return s
+}
+
+var _ bgp.Observer = (*Recorder)(nil)

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/des"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+func sampleUpdate(withdraw bool) bgp.Update {
+	if withdraw {
+		return bgp.Update{Dest: 0, Withdraw: true}
+	}
+	return bgp.Update{Dest: 0, Path: routing.Path{5, 4, 0}}
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	r := NewRecorder(nil)
+	r.UpdateSent(time.Second, 5, 6, sampleUpdate(false))
+	r.UpdateSent(2*time.Second, 4, 5, sampleUpdate(true))
+	r.RouteChanged(3*time.Second, 5, 0, 6, nil)
+	r.RouteChanged(4*time.Second, 5, 0, topology.None, nil)
+
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	s := r.Summarize()
+	if s.Announces != 1 || s.Withdraws != 1 || s.RouteChanges != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.FirstAt != time.Second || s.LastAt != 4*time.Second {
+		t.Errorf("summary times = %v..%v", s.FirstAt, s.LastAt)
+	}
+}
+
+func TestRecorderChainsToNext(t *testing.T) {
+	tail := NewRecorder(nil)
+	head := NewRecorder(tail)
+	head.UpdateSent(time.Second, 1, 2, sampleUpdate(false))
+	head.RouteChanged(time.Second, 1, 0, 2, nil)
+	if tail.Len() != 2 {
+		t.Errorf("chained observer saw %d events, want 2", tail.Len())
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Limit = 2
+	for i := 0; i < 5; i++ {
+		r.RouteChanged(des.Time(i)*time.Second, 1, 0, 2, nil)
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Errorf("len=%d dropped=%d, want 2/3", r.Len(), r.Dropped())
+	}
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3 more events suppressed") {
+		t.Errorf("output missing suppression note:\n%s", b.String())
+	}
+}
+
+func TestRecorderFilters(t *testing.T) {
+	r := NewRecorder(nil)
+	r.OnlyNode = 5
+	r.Since = 2 * time.Second
+	r.RouteChanged(time.Second, 5, 0, 6, nil)              // too early
+	r.RouteChanged(3*time.Second, 4, 0, 6, nil)            // wrong node
+	r.RouteChanged(3*time.Second, 5, 0, 6, nil)            // kept
+	r.UpdateSent(4*time.Second, 5, 6, sampleUpdate(false)) // kept
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	got := r.Filter(func(e Event) bool { return e.Kind == KindAnnounce })
+	if len(got) != 1 || got[0].Peer != 6 {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		e    Event
+		want []string
+	}{
+		{
+			Event{At: time.Second, Kind: KindAnnounce, Node: 5, Peer: 6, Dest: 0, Path: routing.Path{5, 4, 0}},
+			[]string{"announce 5->6", "(5 4 0)"},
+		},
+		{
+			Event{At: time.Second, Kind: KindWithdraw, Node: 4, Peer: 5, Dest: 0},
+			[]string{"withdraw 4->5"},
+		},
+		{
+			Event{At: time.Second, Kind: KindRouteChange, Node: 5, Dest: 0, NextHop: 4, Path: routing.Path{5, 4, 0}},
+			[]string{"route", "nexthop 4"},
+		},
+		{
+			Event{At: time.Second, Kind: KindRouteChange, Node: 5, Dest: 0, NextHop: topology.None},
+			[]string{"unreachable"},
+		},
+	}
+	for _, tt := range tests {
+		s := tt.e.String()
+		for _, want := range tt.want {
+			if !strings.Contains(s, want) {
+				t.Errorf("%q missing %q", s, want)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindAnnounce.String() != "announce" || KindWithdraw.String() != "withdraw" || KindRouteChange.String() != "route" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestRecorderClonesPaths(t *testing.T) {
+	r := NewRecorder(nil)
+	p := routing.Path{5, 4, 0}
+	r.UpdateSent(time.Second, 5, 6, bgp.Update{Dest: 0, Path: p})
+	p[0] = 99
+	if r.Events()[0].Path[0] != 5 {
+		t.Error("recorder aliased the update's path")
+	}
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/trace"
+)
+
+// DumpTrace writes every update event of a protocol trace as a stream of
+// concatenated RFC 4271 UPDATE messages (the framing is self-delimiting
+// via the header length field). Route-change events carry no message and
+// are skipped. It returns the number of messages written.
+func DumpTrace(w io.Writer, events []trace.Event) (int, error) {
+	n := 0
+	for _, e := range events {
+		if e.Kind != trace.KindAnnounce && e.Kind != trace.KindWithdraw {
+			continue
+		}
+		msg, err := EncodeSimUpdate(e.Node, traceEventToUpdate(e))
+		if err != nil {
+			return n, fmt.Errorf("wire: event %d: %w", n, err)
+		}
+		if _, err := w.Write(msg); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// ReadStream splits a concatenated message stream (as written by
+// DumpTrace) back into individual messages.
+func ReadStream(data []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(data) > 0 {
+		bodyLen, _, err := parseHeader(data)
+		if err != nil {
+			return nil, err
+		}
+		total := HeaderLen + bodyLen
+		out = append(out, data[:total])
+		data = data[total:]
+	}
+	return out, nil
+}
+
+// traceEventToUpdate converts a trace update event back to the typed form.
+func traceEventToUpdate(e trace.Event) bgp.Update {
+	if e.Kind == trace.KindWithdraw {
+		return bgp.Update{Dest: e.Dest, Withdraw: true}
+	}
+	return bgp.Update{Dest: e.Dest, Path: e.Path}
+}

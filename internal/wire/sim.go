@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"fmt"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/topology"
+)
+
+// The simulator works at the AS level with one prefix per origin AS. The
+// wire mapping assigns origin AS n the prefix 10.(n>>8).(n&0xff).0/24 and
+// uses the AS number directly as the 2-octet ASN.
+
+// SimPrefix returns the canonical prefix for a simulated destination.
+func SimPrefix(dest topology.Node) Prefix {
+	return Prefix{
+		Bits: 24,
+		Addr: [4]byte{10, byte(int(dest) >> 8), byte(int(dest) & 0xff), 0},
+	}
+}
+
+// SimDest inverts SimPrefix.
+func SimDest(p Prefix) (topology.Node, error) {
+	if p.Bits != 24 || p.Addr[0] != 10 {
+		return topology.None, fmt.Errorf("wire: %v is not a simulator prefix", p)
+	}
+	return topology.Node(int(p.Addr[1])<<8 | int(p.Addr[2])), nil
+}
+
+// EncodeSimUpdate converts a simulator update (as sent by `from`) to its
+// RFC 4271 wire form.
+func EncodeSimUpdate(from topology.Node, up bgp.Update) ([]byte, error) {
+	if up.Withdraw {
+		return MarshalUpdate(Update{Withdrawn: []Prefix{SimPrefix(up.Dest)}})
+	}
+	w := Update{
+		Origin:  OriginIGP,
+		NextHop: [4]byte{10, 255, byte(int(from) >> 8), byte(int(from) & 0xff)},
+		NLRI:    []Prefix{SimPrefix(up.Dest)},
+	}
+	for _, as := range up.Path {
+		if as < 0 || int(as) > 0xFFFF {
+			return nil, fmt.Errorf("wire: AS %d not encodable as 2-octet ASN", as)
+		}
+		w.ASPath = append(w.ASPath, uint16(as))
+	}
+	return MarshalUpdate(w)
+}
+
+// DecodeSimUpdate converts an RFC 4271 UPDATE carrying a simulator prefix
+// back into the simulator's typed form. Exactly one route (withdrawn or
+// announced) is expected, matching what EncodeSimUpdate produces.
+func DecodeSimUpdate(msg []byte) (bgp.Update, error) {
+	w, err := UnmarshalUpdate(msg)
+	if err != nil {
+		return bgp.Update{}, err
+	}
+	switch {
+	case len(w.Withdrawn) == 1 && len(w.NLRI) == 0:
+		dest, err := SimDest(w.Withdrawn[0])
+		if err != nil {
+			return bgp.Update{}, err
+		}
+		return bgp.Update{Dest: dest, Withdraw: true}, nil
+	case len(w.Withdrawn) == 0 && len(w.NLRI) == 1:
+		dest, err := SimDest(w.NLRI[0])
+		if err != nil {
+			return bgp.Update{}, err
+		}
+		up := bgp.Update{Dest: dest}
+		for _, as := range w.ASPath {
+			up.Path = append(up.Path, topology.Node(as))
+		}
+		return up, nil
+	default:
+		return bgp.Update{}, fmt.Errorf("wire: expected exactly one simulator route (got %d withdrawn, %d announced)",
+			len(w.Withdrawn), len(w.NLRI))
+	}
+}
