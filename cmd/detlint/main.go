@@ -1,0 +1,114 @@
+// Command detlint is the repo's determinism-lint gate: it runs the
+// internal/analysis suite (norealtime, noglobalrand, maprange,
+// noconcurrency, floateq) over the module and exits non-zero on any
+// finding. CI runs it on every push; run it locally with
+//
+//	go run ./cmd/detlint ./...
+//
+// Examples:
+//
+//	detlint ./...                   # whole module (the CI gate)
+//	detlint ./internal/bgp          # one package
+//	detlint -tests ./internal/...   # include in-package _test.go files
+//	detlint -run maprange ./...     # a single analyzer
+//	detlint -vet ./...              # also run `go vet` afterwards
+//	detlint -list                   # describe the analyzers
+//
+// Intentional exceptions are annotated in the source:
+//
+//	//detlint:allow <analyzer> <justification>
+//
+// on the offending line or the line above. See the "Determinism
+// contract" section of README.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"bgploop/internal/analysis"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	var (
+		list  = fs.Bool("list", false, "describe the analyzers and exit")
+		tests = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		only  = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		vet   = fs.Bool("vet", false, "additionally run `go vet` on the same patterns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%s\n    %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n    "))
+		}
+		return 0, nil
+	}
+	if *only != "" {
+		var err error
+		if analyzers, err = selectAnalyzers(analyzers, *only); err != nil {
+			return 2, err
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(".", patterns, analyzers, *tests)
+	if err != nil {
+		return 2, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	code := 0
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "detlint: %d finding(s)\n", len(diags))
+		code = 1
+	}
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(out, "detlint: go vet failed: %v\n", err)
+			code = 1
+		}
+	}
+	return code, nil
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}

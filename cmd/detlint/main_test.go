@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGateIsGreen mirrors CI: the full suite over the whole module must
+// produce no findings.
+func TestGateIsGreen(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"./..."}, &out)
+	if err != nil {
+		t.Fatalf("detlint errored: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("detlint exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d, err %v", code, err)
+	}
+	for _, name := range []string{"norealtime", "noglobalrand", "maprange", "noconcurrency", "floateq"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunSelection(t *testing.T) {
+	var out strings.Builder
+	if code, err := run([]string{"-run", "maprange,floateq", "./..."}, &out); err != nil || code != 0 {
+		t.Fatalf("code %d, err %v:\n%s", code, err, out.String())
+	}
+	if _, err := run([]string{"-run", "nosuchrule", "./..."}, &out); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+}

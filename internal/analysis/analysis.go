@@ -1,0 +1,124 @@
+// Package analysis implements detlint, the repo's determinism-lint suite.
+//
+// The paper's results are reproducible only because the DES kernel is
+// bit-for-bit deterministic: the same seed must replay the same event
+// order, FIB evolution, and figure output. This package turns that
+// convention into a machine-checked contract. It provides a small
+// analyzer framework modelled on golang.org/x/tools/go/analysis (which is
+// not vendored here; the container has no module cache for it, so the
+// framework is rebuilt on the standard library's go/ast and go/types) and
+// five analyzers:
+//
+//   - norealtime:    no wall-clock (time.Now & friends) in simulation code
+//   - noglobalrand:  all randomness flows through internal/des/rng.go
+//   - maprange:      no order-sensitive iteration over Go maps
+//   - noconcurrency: the DES kernel stays single-threaded
+//   - floateq:       no exact float comparison in metrics/figures code
+//
+// The API mirrors go/analysis closely enough that a later PR can swap the
+// framework for the real one without touching analyzer logic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one determinism rule: a name (used in diagnostics
+// and //detlint:allow directives), documentation, an optional package
+// scope, and the function that checks one package.
+type Analyzer struct {
+	// Name identifies the analyzer; it must be a valid identifier as it
+	// is matched against //detlint:allow directives.
+	Name string
+
+	// Doc is the one-paragraph description printed by `detlint -list`.
+	Doc string
+
+	// Match restricts the analyzer to packages for which it returns
+	// true, given the module-relative package path (e.g.
+	// "internal/bgp"; "" is the module root package). A nil Match means
+	// the analyzer applies everywhere. Fixture tests bypass Match.
+	Match func(relPath string) bool
+
+	// Run checks one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked representation to an
+// analyzer, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// RelPath is the module-relative package path ("" for the root).
+	RelPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer,
+// so detlint output is itself deterministic.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// runAnalyzer executes one analyzer over one loaded package, appending to
+// diags. Directive filtering happens later, over the combined slice.
+func runAnalyzer(a *Analyzer, pkg *Package, diags *[]Diagnostic) error {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		RelPath:   pkg.RelPath,
+		diags:     diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return fmt.Errorf("%s: %s: %w", a.Name, pkg.RelPath, err)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// importedPkgPath returns the import path when e is a (non-shadowed)
+// reference to an imported package, and "" otherwise. It relies on the
+// type checker's Uses map, which records *types.PkgName objects even for
+// placeholder imports, so shadowing by locals is handled correctly.
+func importedPkgPath(info *types.Info, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// pkgSelector returns the selector's field name when n is pkg.Name for
+// one of the given import paths, and "" otherwise.
+func pkgSelector(info *types.Info, n ast.Node, paths ...string) string {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	got := importedPkgPath(info, sel.X)
+	for _, p := range paths {
+		if got == p {
+			return sel.Sel.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsClean is the quality gate itself: the whole tree must
+// pass every determinism analyzer. CI additionally runs `go run
+// ./cmd/detlint ./...`, but keeping the gate inside `go test ./...`
+// means a violation cannot land even where only tier-1 checks run.
+func TestRepositoryIsClean(t *testing.T) {
+	diags, err := Run("../..", []string{"./..."}, DefaultAnalyzers(), false)
+	if err != nil {
+		t.Fatalf("detlint run failed: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestInjectedViolations builds a throwaway module shaped like this repo
+// and plants one violation per analyzer, proving the suite would catch a
+// regression in each dimension (the acceptance scenario: a time.Now in
+// internal/bgp or an unsorted map range in an event-emitting path must
+// fail the gate).
+func TestInjectedViolations(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.22\n")
+	write("internal/bgp/bad.go", `package bgp
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Node int
+
+type Speaker struct {
+	peers map[Node]bool
+}
+
+// Broadcast emits events in map order after consulting the wall clock:
+// three violations in one function.
+func (s *Speaker) Broadcast(emit func(Node)) {
+	deadline := time.Now()
+	_ = deadline
+	for p := range s.peers {
+		emit(p)
+	}
+	go emit(0)
+	emit(Node(rand.Intn(10)))
+}
+`)
+	write("internal/metrics/bad.go", `package metrics
+
+func Converged(prev, cur float64) bool {
+	return prev == cur
+}
+`)
+	diags, err := Run(root, []string{"./..."}, DefaultAnalyzers(), false)
+	if err != nil {
+		t.Fatalf("detlint run failed: %v", err)
+	}
+	found := map[string]int{}
+	for _, d := range diags {
+		found[d.Analyzer]++
+	}
+	for _, name := range []string{"norealtime", "maprange", "noconcurrency", "noglobalrand", "floateq"} {
+		if found[name] == 0 {
+			t.Errorf("injected %s violation not caught; diagnostics: %v", name, diags)
+		}
+	}
+}
+
+// TestRunHonoursDirectives plants a violation covered by an allow
+// directive and checks it survives only when the justification is there.
+func TestRunHonoursDirectives(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "internal/des"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package des
+
+import "time"
+
+func wait() {
+	//detlint:allow norealtime startup grace outside the event loop
+	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond)
+}
+`
+	if err := os.WriteFile(filepath.Join(root, "internal/des/wait.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."}, DefaultAnalyzers(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the unsuppressed Sleep, got %v", diags)
+	}
+	if diags[0].Pos.Line != 8 || !strings.Contains(diags[0].Message, "time.Sleep") {
+		t.Errorf("wrong survivor: %v", diags[0])
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment. The full form is
+//
+//	//detlint:allow <analyzer> <justification>
+//
+// placed either on the flagged line or on the line directly above it.
+// The justification is mandatory: an allow without a reason is itself a
+// finding, as is an allow naming an unknown analyzer. The analyzer name
+// "all" suppresses every detlint rule for the line.
+const DirectivePrefix = "//detlint:allow"
+
+// directiveAnalyzerName is the pseudo-analyzer under which malformed
+// directives are reported.
+const directiveAnalyzerName = "directive"
+
+type directive struct {
+	analyzer string
+	pos      token.Pos
+}
+
+// collectDirectives scans a file's comments for detlint:allow directives.
+// Valid ones are keyed by line; malformed ones are reported into diags.
+func collectDirectives(fset *token.FileSet, file *ast.File, known map[string]bool, diags *[]Diagnostic) map[int][]directive {
+	out := map[int][]directive{}
+	report := func(pos token.Pos, msg string) {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: directiveAnalyzerName,
+			Pos:      fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //detlint:allowance — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(c.Pos(), "allow directive names no analyzer")
+				continue
+			}
+			name := fields[0]
+			if name != "all" && !known[name] {
+				report(c.Pos(), "allow directive names unknown analyzer "+name)
+				continue
+			}
+			if len(fields) < 2 {
+				report(c.Pos(), "allow directive for "+name+" has no justification")
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], directive{analyzer: name, pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// applyDirectives removes diagnostics covered by an allow directive on
+// the same line or the line above. Directive-analyzer diagnostics are
+// never suppressed.
+func applyDirectives(diags []Diagnostic, byFile map[string]map[int][]directive) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != directiveAnalyzerName && suppressed(d, byFile[d.Pos.Filename]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func suppressed(d Diagnostic, byLine map[int][]directive) bool {
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range byLine[line] {
+			if dir.analyzer == "all" || dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f() {
+	//detlint:allow maprange commutative fold
+	a := 1
+	b := 2 //detlint:allow floateq zero sentinel
+	//detlint:allow all generated code
+	c := 3
+	//detlint:allow nosuchrule whatever
+	//detlint:allow maprange
+	//detlint:allow
+	_, _, _ = a, b, c
+}
+`
+
+func parseDirectives(t *testing.T) (*token.FileSet, map[int][]directive, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"maprange": true, "floateq": true}
+	var diags []Diagnostic
+	byLine := collectDirectives(fset, f, known, &diags)
+	return fset, byLine, diags
+}
+
+func TestCollectDirectives(t *testing.T) {
+	_, byLine, diags := parseDirectives(t)
+	if len(byLine[4]) != 1 || byLine[4][0].analyzer != "maprange" {
+		t.Errorf("line 4: got %+v", byLine[4])
+	}
+	if len(byLine[6]) != 1 || byLine[6][0].analyzer != "floateq" {
+		t.Errorf("line 6: got %+v", byLine[6])
+	}
+	if len(byLine[7]) != 1 || byLine[7][0].analyzer != "all" {
+		t.Errorf("line 7: got %+v", byLine[7])
+	}
+
+	// Malformed directives are findings themselves.
+	var msgs []string
+	for _, d := range diags {
+		if d.Analyzer != directiveAnalyzerName {
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, wantSub := range []string{
+		"unknown analyzer nosuchrule",
+		"has no justification",
+		"names no analyzer",
+	} {
+		if !strings.Contains(joined, wantSub) {
+			t.Errorf("missing directive finding %q in:\n%s", wantSub, joined)
+		}
+	}
+	if len(diags) != 3 {
+		t.Errorf("want 3 directive findings, got %d", len(diags))
+	}
+}
+
+func TestApplyDirectives(t *testing.T) {
+	_, byLine, _ := parseDirectives(t)
+	byFile := map[string]map[int][]directive{"p.go": byLine}
+	mk := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "p.go", Line: line}}
+	}
+	diags := []Diagnostic{
+		mk("maprange", 5),   // suppressed: directive on line above
+		mk("floateq", 6),    // suppressed: directive on same line
+		mk("norealtime", 8), // suppressed: "all" on line above
+		mk("floateq", 5),    // kept: directive names a different analyzer
+		mk("maprange", 12),  // kept: no directive nearby
+	}
+	kept := applyDirectives(diags, byFile)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Analyzer != "floateq" || kept[0].Pos.Line != 5 {
+		t.Errorf("kept[0] = %v", kept[0])
+	}
+	if kept[1].Analyzer != "maprange" || kept[1].Pos.Line != 12 {
+		t.Errorf("kept[1] = %v", kept[1])
+	}
+}

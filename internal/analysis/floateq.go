@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != on floating-point operands in the
+// metrics/figures packages. Exact float comparison makes published
+// numbers depend on evaluation order, compiler fusion, and platform
+// rounding; figure code compares against tolerances instead. Deliberate
+// exact comparisons (zero-variance sentinels, integer-valued checks)
+// carry a //detlint:allow floateq directive with the reason.
+func FloatEqAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc: "flag exact ==/!= comparison of floating-point values in\n" +
+			"metrics/figures code; compare against a tolerance instead",
+		Match: inPackages(figurePackages...),
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass.TypesInfo, be.X) || isFloat(pass.TypesInfo, be.Y) {
+					pass.Reportf(be.OpPos, "exact floating-point %s comparison; use a tolerance or justify with %s floateq", be.Op, DirectivePrefix)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

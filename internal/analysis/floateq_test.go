@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestFloatEq(t *testing.T) {
+	RunFixture(t, FloatEqAnalyzer(), "testdata/floateq")
+}

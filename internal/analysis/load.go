@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// RelPath is the package directory relative to the module root,
+	// using "/" separators ("" for the root package).
+	RelPath string
+	Dir     string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Filenames []string
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads and type-checks packages of a single module from source.
+//
+// Type checking is deliberately lenient: imports that live outside the
+// module (the standard library included) resolve to empty placeholder
+// packages and the resulting "undeclared name" errors are discarded.
+// The analyzers only need (a) the syntax tree, (b) each file's import
+// table, and (c) accurate types for declarations made inside the module —
+// map types, float fields — all of which survive placeholder imports.
+// This keeps detlint dependency-free and able to run with no build cache
+// and no network.
+type Loader struct {
+	// Root is the module root directory (the one containing go.mod).
+	Root string
+	// ModulePath is the module's import path from go.mod.
+	ModulePath string
+	// IncludeTests adds in-package _test.go files to each package.
+	// External (package foo_test) files are never loaded.
+	IncludeTests bool
+
+	Fset  *token.FileSet
+	cache map[string]*Package // keyed by RelPath
+	fakes map[string]*types.Package
+}
+
+// NewLoader locates the module root at or above dir and prepares a
+// loader for it.
+func NewLoader(dir string, includeTests bool) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Root:         root,
+		ModulePath:   modPath,
+		IncludeTests: includeTests,
+		Fset:         token.NewFileSet(),
+		cache:        map[string]*Package{},
+		fakes:        map[string]*types.Package{},
+	}, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// Expand resolves package patterns relative to the module root into
+// module-relative package paths. Supported forms: "./...", "dir/...",
+// "./dir", "dir". Directories named testdata, vendor, or starting with
+// "." or "_" are skipped by the "..." walk.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = strings.TrimSuffix(base, "/")
+			if base == "." || base == "" {
+				base = ""
+			}
+			start := filepath.Join(l.Root, filepath.FromSlash(base))
+			err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != start && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					rel, err := filepath.Rel(l.Root, path)
+					if err != nil {
+						return err
+					}
+					add(rel)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		add(rel)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load returns the package at the module-relative path, loading and
+// type-checking it (and, transitively, any module-internal imports) on
+// first use.
+func (l *Loader) Load(relPath string) (*Package, error) {
+	relPath = strings.Trim(filepath.ToSlash(relPath), "/")
+	if relPath == "." {
+		relPath = ""
+	}
+	if pkg, ok := l.cache[relPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", relPath)
+		}
+		return pkg, nil
+	}
+	l.cache[relPath] = nil // cycle guard; Go forbids cycles, but be safe
+	pkg, err := l.load(relPath)
+	if err != nil {
+		delete(l.cache, relPath)
+		return nil, err
+	}
+	l.cache[relPath] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) load(relPath string) (*Package, error) {
+	dir := filepath.Join(l.Root, filepath.FromSlash(relPath))
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, fmt.Errorf("no buildable Go files in %s", dir)
+		}
+		return nil, err
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	var filenames []string
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		filenames = append(filenames, path)
+	}
+
+	importPath := l.ModulePath
+	if relPath != "" {
+		importPath = l.ModulePath + "/" + relPath
+	}
+	tpkg, info := l.check(importPath, files)
+	return &Package{
+		RelPath:   relPath,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Filenames: filenames,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// check type-checks one set of files leniently: type errors are
+// collected and discarded, because placeholder imports make them
+// expected (see the Loader doc comment).
+func (l *Loader) check(importPath string, files []*ast.File) (*types.Package, *types.Info) {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: &lenientImporter{loader: l},
+		Error:    func(error) {},
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	return tpkg, info
+}
+
+// lenientImporter resolves module-internal imports from source and
+// everything else to an empty placeholder package.
+type lenientImporter struct {
+	loader *Loader
+}
+
+func (imp *lenientImporter) Import(path string) (*types.Package, error) {
+	l := imp.loader
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if fake, ok := l.fakes[path]; ok {
+		return fake, nil
+	}
+	fake := types.NewPackage(path, packageNameFor(path))
+	fake.MarkComplete()
+	l.fakes[path] = fake
+	return fake, nil
+}
+
+// packageNameFor guesses the package name of an import path: the last
+// element, skipping major-version suffixes ("math/rand/v2" -> "rand").
+func packageNameFor(path string) string {
+	elems := strings.Split(path, "/")
+	name := elems[len(elems)-1]
+	if len(elems) >= 2 && len(name) >= 2 && name[0] == 'v' &&
+		strings.TrimLeft(name[1:], "0123456789") == "" {
+		name = elems[len(elems)-2]
+	}
+	return name
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags order-sensitive iteration over Go maps in
+// simulation packages. Map iteration order is randomised by the runtime,
+// so a bare `range` over a map in an event-emitting path makes the event
+// schedule differ between runs of the same seed.
+//
+// Two shapes are exempt without a directive:
+//
+//   - loops that bind neither the key nor the value (`for range m`),
+//     which cannot observe the order; and
+//   - collect-then-sort loops: every statement in the body appends to a
+//     slice, and every such slice is later handed to a sort or slices
+//     call in the same file (`for k := range m { keys = append(keys, k) };
+//     sort.Ints(keys)`), the idiom behind internal/core/sortedmap.
+//
+// Everything else either iterates via sortedmap.Keys/Range or carries a
+// `//detlint:allow maprange <justification>` directive.
+func MapRangeAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "maprange",
+		Doc: "flag order-sensitive `range` over maps in simulation packages;\n" +
+			"iterate via internal/core/sortedmap instead",
+		Match: inPackages(simPackages...),
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			sorted := sortedObjects(pass, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok || tv.Type == nil {
+					return true // type unresolved (placeholder import); nothing provable
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isBlank(rs.Key) && isBlank(rs.Value) {
+					return true // order unobservable
+				}
+				if targets, pure := collectTargets(pass, rs.Body); pure && allSorted(targets, sorted) {
+					return true // collect-then-sort idiom
+				}
+				pass.Reportf(rs.Pos(), "map iteration order is nondeterministic; use sortedmap.Keys/Range or justify with %s maprange", DirectivePrefix)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func isBlank(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// collectTargets inspects a range body; when every statement is an
+// append-assignment (`xs = append(xs, ...)`) it returns the assigned
+// slice objects and pure=true.
+func collectTargets(pass *Pass, body *ast.BlockStmt) (targets []types.Object, pure bool) {
+	if body == nil || len(body.List) == 0 {
+		return nil, false
+	}
+	for _, st := range body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil, false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+			return nil, false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return nil, false
+		}
+		targets = append(targets, obj)
+	}
+	return targets, true
+}
+
+// sortedObjects gathers every object that appears as an argument to a
+// call into the sort or slices packages anywhere in the file. A collect
+// loop is only exempt when all of its targets end up here; position is
+// not checked, which errs on the lenient side for sort-before-collect
+// but keeps the analysis flow-insensitive.
+func sortedObjects(pass *Pass, file *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgSelector(pass.TypesInfo, call.Fun, "sort", "slices") == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func allSorted(targets []types.Object, sorted map[types.Object]bool) bool {
+	for _, obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestMapRange(t *testing.T) {
+	RunFixture(t, MapRangeAnalyzer(), "testdata/maprange")
+}

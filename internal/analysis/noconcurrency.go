@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoConcurrencyAnalyzer forbids concurrency constructs inside the DES
+// kernel packages. The kernel executes events one at a time in strict
+// (time, insertion-order) order — that is what makes runs reproducible —
+// so goroutines, channels, and sync primitives there are either dead
+// weight or a determinism bug. Harness layers above the kernel
+// (internal/experiment, cmd/) may parallelise whole runs, each with its
+// own scheduler; they are outside this analyzer's scope.
+func NoConcurrencyAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "noconcurrency",
+		Doc: "forbid go statements, channels, and sync primitives in the DES\n" +
+			"kernel packages; the kernel is single-threaded by design",
+		Match: inPackages(kernelPackages...),
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "go statement in the single-threaded DES kernel")
+				case *ast.SendStmt:
+					pass.Reportf(n.Pos(), "channel send in the single-threaded DES kernel")
+				case *ast.SelectStmt:
+					pass.Reportf(n.Pos(), "select statement in the single-threaded DES kernel")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						pass.Reportf(n.Pos(), "channel receive in the single-threaded DES kernel")
+					}
+				case *ast.ChanType:
+					pass.Reportf(n.Pos(), "channel type in the single-threaded DES kernel")
+					return false
+				case *ast.RangeStmt:
+					if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							pass.Reportf(n.Pos(), "range over channel in the single-threaded DES kernel")
+						}
+					}
+				case *ast.SelectorExpr:
+					if name := pkgSelector(pass.TypesInfo, n, "sync", "sync/atomic"); name != "" {
+						pass.Reportf(n.Pos(), "sync.%s in the single-threaded DES kernel", name)
+						return false
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

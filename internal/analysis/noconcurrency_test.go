@@ -1,0 +1,19 @@
+package analysis
+
+import "testing"
+
+func TestNoConcurrency(t *testing.T) {
+	RunFixture(t, NoConcurrencyAnalyzer(), "testdata/noconcurrency")
+}
+
+func TestNoConcurrencyScope(t *testing.T) {
+	match := NoConcurrencyAnalyzer().Match
+	if !match("internal/des") || !match("internal/netsim") {
+		t.Error("noconcurrency must cover the kernel")
+	}
+	// The experiment harness may parallelise whole runs (each with its
+	// own scheduler); the kernel rule does not extend to it.
+	if match("internal/experiment") || match("cmd/bgpsim") {
+		t.Error("noconcurrency must stop at the kernel boundary")
+	}
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestNoGlobalRand(t *testing.T) {
+	RunFixture(t, NoGlobalRandAnalyzer(), "testdata/noglobalrand")
+}
+
+func TestNoGlobalRandScopeIsRepoWide(t *testing.T) {
+	if NoGlobalRandAnalyzer().Match != nil {
+		t.Error("noglobalrand must apply to every package")
+	}
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// wallClockNames are the package-level time functions that read or wait
+// on the wall clock. Pure value constructors (time.Duration literals,
+// time.Second, ...) stay legal: simulation code expresses virtual time
+// as time.Duration offsets (des.Time) without ever consulting the clock.
+var wallClockNames = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// NoRealTimeAnalyzer forbids wall-clock access in simulation packages.
+// Results must depend only on the scenario and seed; a time.Now anywhere
+// in an event path makes runs unrepeatable. Wall-clock timing in cmd/
+// (progress reporting) is outside the analyzer's package scope.
+func NoRealTimeAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "norealtime",
+		Doc: "forbid wall-clock access (time.Now, time.Since, time.Sleep, timers)\n" +
+			"in simulation packages; sim code must use the DES virtual clock",
+		Match: inPackages(simPackages...),
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if name := pkgSelector(pass.TypesInfo, n, "time"); wallClockNames[name] {
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock; use the des.Scheduler virtual clock", name)
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import "testing"
+
+func TestNoRealTime(t *testing.T) {
+	RunFixture(t, NoRealTimeAnalyzer(), "testdata/norealtime")
+}
+
+func TestNoRealTimeScope(t *testing.T) {
+	match := NoRealTimeAnalyzer().Match
+	for _, rel := range []string{"internal/des", "internal/bgp", "internal/netsim", "internal/dataplane", "internal/experiment"} {
+		if !match(rel) {
+			t.Errorf("norealtime should cover %s", rel)
+		}
+	}
+	for _, rel := range []string{"", "cmd/bgpfig", "internal/figures", "internal/destest"} {
+		if match(rel) {
+			t.Errorf("norealtime should not cover %q", rel)
+		}
+	}
+}

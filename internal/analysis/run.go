@@ -1,0 +1,89 @@
+package analysis
+
+import "strings"
+
+// Simulation-package scopes of the determinism contract, as
+// module-relative paths. See the "Determinism contract" section of
+// README.md for the rationale behind each set.
+var (
+	// simPackages run under the DES virtual clock and define the
+	// reproducible event schedule.
+	simPackages = []string{
+		"internal/des", "internal/bgp", "internal/netsim",
+		"internal/dataplane", "internal/experiment",
+	}
+	// kernelPackages must stay single-threaded: events execute one at a
+	// time in strict (time, insertion-order) order.
+	kernelPackages = []string{
+		"internal/des", "internal/bgp", "internal/netsim", "internal/dataplane",
+	}
+	// figurePackages compute the published numbers; exact float
+	// comparison there silently changes figures across platforms.
+	figurePackages = []string{
+		"internal/metrics", "internal/figures", "internal/loopanalysis",
+		"internal/report", "internal/core",
+	}
+)
+
+func inPackages(paths ...string) func(relPath string) bool {
+	return func(relPath string) bool {
+		for _, p := range paths {
+			if relPath == p || strings.HasPrefix(relPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// DefaultAnalyzers returns the full detlint suite in stable order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NoRealTimeAnalyzer(),
+		NoGlobalRandAnalyzer(),
+		MapRangeAnalyzer(),
+		NoConcurrencyAnalyzer(),
+		FloatEqAnalyzer(),
+	}
+}
+
+// Run loads every package matched by patterns below dir's module root
+// and runs the analyzers over them, returning the surviving diagnostics
+// sorted by position. Directive suppression and directive validation are
+// applied across the whole run.
+func Run(dir string, patterns []string, analyzers []*Analyzer, includeTests bool) ([]Diagnostic, error) {
+	loader, err := NewLoader(dir, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	rels, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	byFile := map[string]map[int][]directive{}
+	for _, rel := range rels {
+		pkg, err := loader.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range pkg.Files {
+			byFile[pkg.Filenames[i]] = collectDirectives(pkg.Fset, f, known, &diags)
+		}
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(rel) {
+				continue
+			}
+			if err := runAnalyzer(a, pkg, &diags); err != nil {
+				return nil, err
+			}
+		}
+	}
+	diags = applyDirectives(diags, byFile)
+	sortDiagnostics(diags)
+	return diags, nil
+}

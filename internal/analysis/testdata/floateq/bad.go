@@ -1,0 +1,13 @@
+package floateq
+
+type ratio float64
+
+func bad(a, b float64, r ratio) bool {
+	if a == b { // want `exact floating-point == comparison`
+		return true
+	}
+	if a != 0.25 { // want `exact floating-point != comparison`
+		return false
+	}
+	return r == 0.5 // want `exact floating-point == comparison`
+}

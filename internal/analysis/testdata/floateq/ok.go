@@ -1,0 +1,21 @@
+package floateq
+
+import "math"
+
+const eps = 1e-9
+
+// Tolerance comparison is the sanctioned form.
+func close_(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// Integer and string comparisons are none of this analyzer's business.
+func ints(a, b int, s string) bool {
+	return a == b && s != "x"
+}
+
+// Deliberate exact comparison carries a justified directive.
+func sentinel(variance float64) bool {
+	//detlint:allow floateq exact-zero is the documented degenerate-case sentinel
+	return variance == 0
+}

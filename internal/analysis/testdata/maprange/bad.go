@@ -1,0 +1,35 @@
+package maprange
+
+type node int
+
+type state struct{ emitted []node }
+
+func (s *state) emit(v node) { s.emitted = append(s.emitted, v) }
+
+// Event emission driven by map order: the canonical determinism bug.
+func emitAll(s *state, peers map[node]bool) {
+	for p := range peers { // want `map iteration order is nondeterministic`
+		s.emit(p)
+	}
+}
+
+// Append-only, but the slice is never sorted, so the result order leaks
+// the map order.
+func collectedButNeverSorted(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		out = append(out, v+1)
+	}
+	return out
+}
+
+// A mixed body (append plus other work) is not a collection loop.
+func mixed(m map[int]int) int {
+	total := 0
+	var keys []int
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+		total += k
+	}
+	return total + len(keys)
+}

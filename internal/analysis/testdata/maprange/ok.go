@@ -1,0 +1,42 @@
+package maprange
+
+import "sort"
+
+// Ranging over slices is always fine.
+func slices_(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Binding neither key nor value cannot observe the iteration order.
+func countOnly(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// The collect-then-sort idiom: gather keys, sort, then iterate sorted.
+func sortedKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Order-insensitive aggregation still needs a justification, because the
+// analyzer cannot prove commutativity; the directive records the claim.
+func total(m map[string]int) int {
+	n := 0
+	//detlint:allow maprange summation is commutative; order cannot leak
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+package noconcurrency
+
+import "sync"
+
+func bad() {
+	go func() {}() // want `go statement in the single-threaded DES kernel`
+
+	ch := make(chan int, 1) // want `channel type in the single-threaded DES kernel`
+	ch <- 1                 // want `channel send in the single-threaded DES kernel`
+	_ = <-ch                // want `channel receive in the single-threaded DES kernel`
+
+	select { // want `select statement in the single-threaded DES kernel`
+	default:
+	}
+
+	var mu sync.Mutex // want `sync.Mutex in the single-threaded DES kernel`
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+type queue struct {
+	in chan string // want `channel type in the single-threaded DES kernel`
+}

@@ -1,0 +1,12 @@
+package noconcurrency
+
+// Plain sequential code: the kernel's event heap, callbacks, and
+// counters need none of the runtime's concurrency machinery.
+func ok(fns []func()) int {
+	n := 0
+	for _, fn := range fns {
+		fn()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,20 @@
+package noglobalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)    // want `rand.Intn draws from the process-global generator`
+	_ = rand.Float64()   // want `rand.Float64 draws from the process-global generator`
+	rand.Shuffle(3, nil) // want `rand.Shuffle draws from the process-global generator`
+	rand.Seed(42)        // want `rand.Seed draws from the process-global generator`
+	_ = rand.Perm(5)     // want `rand.Perm draws from the process-global generator`
+	f := rand.Int63      // want `rand.Int63 draws from the process-global generator`
+	_ = f
+}
+
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.NewSource seeded from the wall clock`
+}

@@ -1,0 +1,15 @@
+package norealtime
+
+import "time"
+
+func bad() {
+	start := time.Now()            // want `time.Now reads the wall clock`
+	_ = time.Since(start)          // want `time.Since reads the wall clock`
+	time.Sleep(time.Second)        // want `time.Sleep reads the wall clock`
+	_ = time.After(time.Second)    // want `time.After reads the wall clock`
+	_ = time.NewTimer(time.Second) // want `time.NewTimer reads the wall clock`
+}
+
+func passedAsValue() any {
+	return time.Now // want `time.Now reads the wall clock`
+}

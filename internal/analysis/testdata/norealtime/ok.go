@@ -1,0 +1,24 @@
+package norealtime
+
+import "time"
+
+// Virtual-time arithmetic on time.Duration is the normal way simulation
+// code expresses instants and intervals; none of it touches the clock.
+func ok() time.Duration {
+	d := 30 * time.Second
+	d += time.Duration(float64(time.Millisecond) * 1.5)
+	return d.Round(time.Millisecond)
+}
+
+// A local identifier named time shadows the package; selecting Now from
+// it is not a wall-clock read.
+func shadowed() int {
+	type clock struct{ Now int }
+	time := clock{Now: 7}
+	return time.Now
+}
+
+func allowed() {
+	//detlint:allow norealtime coarse progress logging, outside any event path
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,45 @@
+// Package sortedmap provides deterministic iteration over Go maps.
+//
+// Go randomises map iteration order on purpose, which makes a bare
+// `range` over a map inside the simulation kernel a reproducibility bug:
+// the same seed could emit events, FIB changes, or figure rows in a
+// different order on every run. The detlint `maprange` analyzer forbids
+// such ranges in the simulation packages; code that genuinely needs to
+// visit every entry iterates via this package instead, in ascending key
+// order.
+package sortedmap
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns the keys of m in ascending order.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// KeysFunc returns the keys of m ordered by the given comparison
+// function, for key types that are not cmp.Ordered (e.g. structs).
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, compare func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compare)
+	return keys
+}
+
+// Range calls f for every entry of m in ascending key order. Deleting the
+// current key inside f is safe; inserting new keys during the walk does
+// not grow the visit set.
+func Range[M ~map[K]V, K cmp.Ordered, V any](m M, f func(K, V)) {
+	for _, k := range Keys(m) {
+		f(k, m[k])
+	}
+}

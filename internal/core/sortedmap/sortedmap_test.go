@@ -1,0 +1,53 @@
+package sortedmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	for i := 0; i < 50; i++ { // iteration order must be stable across calls
+		if got := Keys(m); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+			t.Fatalf("Keys = %v, want [1 2 3]", got)
+		}
+	}
+	if got := Keys(map[string]int(nil)); len(got) != 0 {
+		t.Errorf("Keys(nil) = %v, want empty", got)
+	}
+}
+
+func TestKeysFunc(t *testing.T) {
+	type edge struct{ a, b int }
+	m := map[edge]bool{{2, 3}: true, {1, 2}: true, {1, 9}: true}
+	got := KeysFunc(m, func(x, y edge) int {
+		if x.a != y.a {
+			return x.a - y.a
+		}
+		return x.b - y.b
+	})
+	want := []edge{{1, 2}, {1, 9}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("KeysFunc = %v, want %v", got, want)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := map[int]int{5: 50, 2: 20, 9: 90}
+	var ks, vs []int
+	Range(m, func(k, v int) {
+		ks = append(ks, k)
+		vs = append(vs, v)
+	})
+	if !reflect.DeepEqual(ks, []int{2, 5, 9}) || !reflect.DeepEqual(vs, []int{20, 50, 90}) {
+		t.Errorf("Range visited (%v, %v)", ks, vs)
+	}
+}
+
+func TestRangeDeleteDuringWalk(t *testing.T) {
+	m := map[int]int{1: 1, 2: 2, 3: 3}
+	Range(m, func(k, _ int) { delete(m, k) })
+	if len(m) != 0 {
+		t.Errorf("map not emptied: %v", m)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bgploop/internal/bgp"
+	"bgploop/internal/core/sortedmap"
 	"bgploop/internal/topology"
 )
 
@@ -118,8 +119,11 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 		cfg.MRAI = time.Duration(spec.MRAISeconds * float64(time.Second))
 	}
 	cfg.MRAIContinuous = spec.MRAIContinuous
-	for name, on := range spec.Enhancements {
-		if !on {
+	// Sorted iteration: with several enhancement keys the map order is
+	// random, and any future order-dependent handling (or error text)
+	// must not vary between loads of the same spec.
+	for _, name := range sortedmap.Keys(spec.Enhancements) {
+		if !spec.Enhancements[name] {
 			continue
 		}
 		switch name {

@@ -86,11 +86,13 @@ func FitLine(xs, ys []float64) (LinearFit, error) {
 		sxy += dx * dy
 		syy += dy * dy
 	}
+	//detlint:allow floateq exact zero is the degenerate all-equal-x sentinel, not a tolerance check
 	if sxx == 0 {
 		return LinearFit{}, ErrDegenerateFit
 	}
 	fit := LinearFit{Slope: sxy / sxx}
 	fit.Intercept = meanY - fit.Slope*meanX
+	//detlint:allow floateq exact zero distinguishes a perfectly horizontal fit, where R2 is 1 by definition
 	if syy == 0 {
 		// A perfectly horizontal relationship is perfectly linear.
 		fit.R2 = 1
@@ -103,6 +105,7 @@ func FitLine(xs, ys []float64) (LinearFit, error) {
 // Ratio returns a/b, or 0 when b is 0 — convenient for normalised metrics
 // like "TTL exhaustions normalised by standard BGP" (Figures 8a, 9a).
 func Ratio(a, b float64) float64 {
+	//detlint:allow floateq exact zero guards the division; near-zero b must still divide
 	if b == 0 {
 		return 0
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"bgploop/internal/core/sortedmap"
 	"bgploop/internal/des"
 	"bgploop/internal/topology"
 )
@@ -212,8 +213,10 @@ func (n *Network) failLinkNow(a, b topology.Node) {
 		return
 	}
 	n.down[e] = true
-	for id, h := range n.inflight[e] {
-		if h.Cancel() {
+	// Sorted iteration keeps the cancellation order — and with it the
+	// Lost counter's evolution — identical across runs of the same seed.
+	for _, id := range sortedmap.Keys(n.inflight[e]) {
+		if n.inflight[e][id].Cancel() {
 			n.stats.Lost++
 		}
 		delete(n.inflight[e], id)

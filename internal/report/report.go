@@ -33,6 +33,7 @@ func (t *Table) AddFloats(label string, values ...float64) {
 
 func formatFloat(v float64) string {
 	switch {
+	//detlint:allow floateq exact round-trip test for integer-valued floats is the point of this case
 	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
 		return fmt.Sprintf("%d", int64(v))
 	case v >= 100 || v <= -100:
