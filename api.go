@@ -4,6 +4,7 @@ import (
 	"bgploop/internal/bgp"
 	"bgploop/internal/core"
 	"bgploop/internal/experiment"
+	"bgploop/internal/faultplan"
 	"bgploop/internal/figures"
 	"bgploop/internal/report"
 	"bgploop/internal/topology"
@@ -33,7 +34,27 @@ type (
 	Table = report.Table
 	// Scale sets figure sweep resolution.
 	Scale = figures.Scale
+	// FaultPlan is a declarative multi-phase fault script: an ordered
+	// timeline of link/node failures, correlated failure groups, flap
+	// generators, and session resets, with per-phase measurement.
+	FaultPlan = faultplan.Plan
+	// FaultPhase is one run-to-quiescence segment of a FaultPlan.
+	FaultPhase = faultplan.Phase
+	// FaultAction is one entry of a phase's action timeline.
+	FaultAction = faultplan.Action
+	// QuiescenceFailure is the structured diagnosis of a run that
+	// exhausted its event budget or virtual-time horizon; its Verdict
+	// separates "oscillating" from "still-converging".
+	QuiescenceFailure = experiment.QuiescenceFailure
+	// TrialFailure reports one failed (or panicked) trial of a sweep,
+	// carrying the replayable Scenario and seed.
+	TrialFailure = experiment.TrialFailure
+	// SweepOptions tunes continue-on-failure trial sweeps.
+	SweepOptions = experiment.SweepOptions
 )
+
+// ErrNoQuiescence is in the error chain of every QuiescenceFailure.
+var ErrNoQuiescence = experiment.ErrNoQuiescence
 
 // Event kinds of the paper's two failure workloads.
 const (

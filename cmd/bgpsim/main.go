@@ -42,6 +42,8 @@ func run(args []string) error {
 		enhance   = fs.String("enhance", "standard", "protocol variant: standard, ssld, wrate, assertion, ghostflush")
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		showLoops = fs.Bool("loops", false, "print the exact per-loop intervals")
+		horizon   = fs.Duration("horizon", 0, "virtual-time cap; non-quiescence past it aborts with a diagnosis (0 = unlimited)")
+		phaseBudg = fs.Uint64("phase-budget", 0, "per-phase event budget for the watchdog (0 = remaining global budget)")
 		showTrace = fs.Int("trace", 0, "print up to N protocol events from the failure onward")
 		wireDump  = fs.String("wiredump", "", "write the update trace as concatenated RFC 4271 UPDATE messages to this file")
 		mrtDump   = fs.String("mrt", "", "write the update trace as MRT BGP4MP_MESSAGE records (RFC 6396) to this file")
@@ -63,6 +65,12 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *horizon > 0 {
+		scenario.Horizon = *horizon
+	}
+	if *phaseBudg > 0 {
+		scenario.PhaseEventBudget = *phaseBudg
 	}
 	if *showTrace > 0 {
 		// Record generously; the post-failure filter trims afterwards.
@@ -98,6 +106,18 @@ func run(args []string) error {
 		}
 	} else if err := tbl.WriteText(os.Stdout); err != nil {
 		return err
+	}
+	if len(rep.Phases) > 1 {
+		// Multi-phase fault plan: show the per-phase breakdown.
+		fmt.Println()
+		phases := rep.PhaseTable()
+		if *csv {
+			if err := phases.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := phases.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if *showLoops {
 		fmt.Println()

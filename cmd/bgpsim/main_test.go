@@ -116,3 +116,49 @@ func TestRunWireAndMRTDumps(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFaultPlanScenarioFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	spec := `{
+		"topology": {"family": "ring", "size": 5},
+		"seed": 3,
+		"faultPlan": {
+			"name": "two-cuts",
+			"phases": [
+				{"name": "cut-a", "delaySeconds": 1, "measure": true, "role": "main",
+				 "actions": [{"op": "linkDown", "link": [1, 2]}]},
+				{"name": "cut-b", "delaySeconds": 1, "measure": true,
+				 "actions": [{"op": "linkUp", "link": [1, 2]}]}
+			]
+		}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-csv", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWatchdogFlags(t *testing.T) {
+	// A 10ms horizon cannot fit initial convergence: the run must fail
+	// with the structured non-quiescence diagnosis.
+	err := run([]string{"-topo", "clique", "-size", "4", "-event", "tdown", "-horizon", "10ms"})
+	if err == nil {
+		t.Fatal("10ms horizon accepted")
+	}
+	if !strings.Contains(err.Error(), "did not quiesce") {
+		t.Errorf("err = %v, want a quiescence diagnosis", err)
+	}
+	err = run([]string{"-topo", "clique", "-size", "6", "-event", "tdown", "-phase-budget", "40"})
+	if err == nil {
+		t.Fatal("40-event phase budget accepted")
+	}
+	if !strings.Contains(err.Error(), "verdict") {
+		t.Errorf("err = %v, want a verdict in the diagnosis", err)
+	}
+}

@@ -10,12 +10,13 @@ var (
 	// reproducible event schedule.
 	simPackages = []string{
 		"internal/des", "internal/bgp", "internal/netsim",
-		"internal/dataplane", "internal/experiment",
+		"internal/dataplane", "internal/experiment", "internal/faultplan",
 	}
 	// kernelPackages must stay single-threaded: events execute one at a
 	// time in strict (time, insertion-order) order.
 	kernelPackages = []string{
 		"internal/des", "internal/bgp", "internal/netsim", "internal/dataplane",
+		"internal/faultplan",
 	}
 	// figurePackages compute the published numbers; exact float
 	// comparison there silently changes figures across platforms.

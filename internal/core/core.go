@@ -68,8 +68,12 @@ func Run(s experiment.Scenario) (*Report, error) {
 
 // SummaryTable renders the paper's §4.2 metrics for one run.
 func (r *Report) SummaryTable() *report.Table {
+	workload := r.Event.String()
+	if r.Event == 0 && r.Plan != "" {
+		workload = fmt.Sprintf("plan %q", r.Plan)
+	}
 	tbl := &report.Table{
-		Title:   fmt.Sprintf("%s %s (%s, MRAI %s)", r.Topology, r.Event, r.Enhancement, r.MRAI),
+		Title:   fmt.Sprintf("%s %s (%s, MRAI %s)", r.Topology, workload, r.Enhancement, r.MRAI),
 		Columns: []string{"metric", "value"},
 	}
 	tbl.AddRow("convergence_time", r.ConvergenceTime.Round(time.Millisecond).String())
@@ -87,6 +91,32 @@ func (r *Report) SummaryTable() *report.Table {
 	tbl.AddRow("updates_sent", fmt.Sprintf("%d", r.UpdatesSent))
 	tbl.AddRow("withdrawals_sent", fmt.Sprintf("%d", r.Withdrawals))
 	tbl.AddRow("bound_violations", fmt.Sprintf("%d", len(r.BoundViolations)))
+	return tbl
+}
+
+// PhaseTable renders the per-phase metrics of a multi-phase fault plan:
+// one row per measured phase, in plan order.
+func (r *Report) PhaseTable() *report.Table {
+	tbl := &report.Table{
+		Title: "Fault-plan phases",
+		Columns: []string{
+			"phase", "role", "inject_at", "convergence",
+			"looping_duration", "ttl_exhaustions", "looping_ratio", "loops",
+		},
+	}
+	for _, ph := range r.Phases {
+		role := ph.Role
+		if role == "" {
+			role = "-"
+		}
+		tbl.AddRow(ph.Name, role,
+			ph.InjectAt.Round(time.Millisecond).String(),
+			ph.ConvergenceTime.Round(time.Millisecond).String(),
+			ph.LoopingDuration.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", ph.TTLExhaustions),
+			fmt.Sprintf("%.3f", ph.LoopingRatio),
+			fmt.Sprintf("%d", ph.LoopStats.Count))
+	}
 	return tbl
 }
 

@@ -138,6 +138,18 @@ func (s *Scheduler) After(d time.Duration, fn func()) (Handle, error) {
 // (e.g. timer intervals from a validated config). It panics on ErrPastTime,
 // which in that context indicates a programming error, not a runtime
 // condition.
+//
+// Panic justification (see the robustness audit): After fails only when
+// d < 0, i.e. the requested instant lies before Now. Every call site is
+// required to pass a delay derived from a validated, non-negative config
+// value or an explicit max(now, t) - now computation, so a failure here
+// cannot be triggered by scenario input — only by a new call site breaking
+// the invariant. Converting it to a returned error would force callers
+// (timer re-arms deep inside event handlers) to invent an error path for a
+// condition that is impossible by construction; crashing loudly at the
+// exact violation site is the safer behaviour. Harness-level recovery
+// (experiment.RunTrialsOpts) converts such a panic into a structured
+// TrialFailure without killing the whole sweep.
 func (s *Scheduler) MustAfter(d time.Duration, fn func()) Handle {
 	h, err := s.After(d, fn)
 	if err != nil {
@@ -201,6 +213,48 @@ func (s *Scheduler) RunLimit(limit uint64) uint64 {
 		n++
 	}
 	return n
+}
+
+// RunLimitUntil executes at most limit events whose timestamps do not
+// exceed horizon. It returns the number of events executed and whether the
+// run stopped because the next pending event lies beyond the horizon (the
+// virtual-time watchdog condition). Unlike RunUntil the clock is not
+// advanced to the horizon when the queue drains early, so a subsequent
+// phase continues from the true quiescence instant.
+func (s *Scheduler) RunLimitUntil(limit uint64, horizon Time) (n uint64, hitHorizon bool) {
+	for n < limit && !s.stopped {
+		ev := s.peek()
+		if ev == nil {
+			return n, false
+		}
+		if ev.at > horizon {
+			return n, true
+		}
+		s.Step()
+		n++
+	}
+	return n, false
+}
+
+// PendingCensus reports the number of pending (non-cancelled) events and
+// the earliest and latest pending timestamps. With no pending events both
+// timestamps are zero. It is the scheduler's contribution to the
+// non-quiescence diagnosis: how much scheduled work remains and how far
+// into virtual time it stretches.
+func (s *Scheduler) PendingCensus() (n int, earliest, latest Time) {
+	for _, ev := range s.queue {
+		if ev.cancelled {
+			continue
+		}
+		if n == 0 || ev.at < earliest {
+			earliest = ev.at
+		}
+		if n == 0 || ev.at > latest {
+			latest = ev.at
+		}
+		n++
+	}
+	return n, earliest, latest
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.

@@ -309,3 +309,65 @@ func mustAt(t *testing.T, s *Scheduler, at Time, fn func()) {
 		t.Fatalf("At(%v): %v", at, err)
 	}
 }
+
+func TestRunLimitUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		if _, err := s.At(Time(i)*time.Second, func() { fired = append(fired, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Horizon stops the run with events still pending and must not
+	// advance the clock past the last executed event.
+	n, hitHorizon := s.RunLimitUntil(100, 2*time.Second)
+	if n != 2 || !hitHorizon {
+		t.Fatalf("RunLimitUntil = (%d, %v), want (2, true)", n, hitHorizon)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s (clock must not jump to the horizon)", s.Now())
+	}
+
+	// Event limit stops next.
+	n, hitHorizon = s.RunLimitUntil(2, 100*time.Second)
+	if n != 2 || hitHorizon {
+		t.Fatalf("RunLimitUntil = (%d, %v), want (2, false)", n, hitHorizon)
+	}
+
+	// Queue drain reports neither condition.
+	n, hitHorizon = s.RunLimitUntil(100, 100*time.Second)
+	if n != 1 || hitHorizon {
+		t.Fatalf("RunLimitUntil = (%d, %v), want (1, false)", n, hitHorizon)
+	}
+	if len(fired) != 5 {
+		t.Errorf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestPendingCensus(t *testing.T) {
+	s := NewScheduler()
+	if n, _, _ := s.PendingCensus(); n != 0 {
+		t.Fatalf("empty census = %d, want 0", n)
+	}
+	if _, err := s.At(3*time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.At(time.Second, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(7*time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	n, earliest, latest := s.PendingCensus()
+	if n != 3 || earliest != time.Second || latest != 7*time.Second {
+		t.Fatalf("census = (%d, %v, %v), want (3, 1s, 7s)", n, earliest, latest)
+	}
+	h.Cancel()
+	n, earliest, latest = s.PendingCensus()
+	if n != 2 || earliest != 3*time.Second || latest != 7*time.Second {
+		t.Fatalf("census after cancel = (%d, %v, %v), want (2, 3s, 7s)", n, earliest, latest)
+	}
+}

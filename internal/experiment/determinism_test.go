@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/topology"
@@ -76,5 +77,46 @@ func TestDifferentSeedDifferentSchedule(t *testing.T) {
 	b.TraceLimit = 1 << 20
 	if runDigest(t, a) == runDigest(t, b) {
 		t.Fatal("digests insensitive to the seed; the determinism test is vacuous")
+	}
+}
+
+// TestCanonicalPlanByteIdentical is the compatibility contract of the
+// fault-plan engine: expressing a legacy single-event scenario as its
+// explicit canonical plan must replay the exact event schedule and
+// reproduce every metric byte for byte. This covers the plain events, the
+// recovery phase, and damping pre-flap cycles.
+func TestCanonicalPlanByteIdentical(t *testing.T) {
+	flapped := TDownScenario(topology.Clique(5), 0, bgp.DefaultConfig(), 11)
+	flapped.FlapCycles = 2
+	flapped.RestoreDelay = 2 * time.Second
+	flapped.BGP.Damping = bgp.DefaultDamping()
+
+	recovered := TLongScenario(topology.Figure1(), 0, topology.Figure1FailedLink(), bgp.DefaultConfig(), 7)
+	recovered.RestoreDelay = time.Second
+
+	scenarios := []struct {
+		name string
+		s    Scenario
+	}{
+		{"figure1-tlong", TLongScenario(topology.Figure1(), 0, topology.Figure1FailedLink(), bgp.DefaultConfig(), 7)},
+		{"clique6-tdown", TDownScenario(topology.Clique(6), 0, bgp.DefaultConfig(), 21)},
+		{"figure1-tlong-recovery", recovered},
+		{"clique5-tdown-flap-damping", flapped},
+	}
+	for _, tt := range scenarios {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.s.TraceLimit = 1 << 20
+			legacy := runDigest(t, tt.s)
+
+			planned := tt.s
+			plan, err := CanonicalPlan(tt.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planned.FaultPlan = plan
+			if got := runDigest(t, planned); got != legacy {
+				t.Fatalf("canonical plan digest %s != legacy digest %s", got, legacy)
+			}
+		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/core/sortedmap"
+	"bgploop/internal/faultplan"
 	"bgploop/internal/topology"
 )
 
@@ -28,15 +29,144 @@ type ScenarioSpec struct {
 	// to the [4 0] link.
 	FailLink *[2]int `json:"failLink,omitempty"`
 
-	MRAISeconds         float64           `json:"mraiSeconds,omitempty"`
-	MRAIContinuous      bool              `json:"mraiContinuous,omitempty"`
-	Enhancements        map[string]bool   `json:"enhancements,omitempty"`
-	Damping             bool              `json:"damping,omitempty"`
-	FlapCycles          int               `json:"flapCycles,omitempty"`
-	RestoreDelaySeconds float64           `json:"restoreDelaySeconds,omitempty"`
-	Seed                int64             `json:"seed,omitempty"`
-	TraceLimit          int               `json:"traceLimit,omitempty"`
-	Extra               map[string]string `json:"-"`
+	MRAISeconds         float64         `json:"mraiSeconds,omitempty"`
+	MRAIContinuous      bool            `json:"mraiContinuous,omitempty"`
+	Enhancements        map[string]bool `json:"enhancements,omitempty"`
+	Damping             bool            `json:"damping,omitempty"`
+	FlapCycles          int             `json:"flapCycles,omitempty"`
+	RestoreDelaySeconds float64         `json:"restoreDelaySeconds,omitempty"`
+	Seed                int64           `json:"seed,omitempty"`
+	TraceLimit          int             `json:"traceLimit,omitempty"`
+	// FaultPlan, when present, replaces the single-event model ("event",
+	// "failLink", "flapCycles", "restoreDelaySeconds" are then ignored
+	// and "event" may be omitted).
+	FaultPlan *FaultPlanSpec `json:"faultPlan,omitempty"`
+	// MaxEvents caps the whole run; PhaseEventBudget caps each plan
+	// phase; HorizonSeconds caps the run's virtual time. Zero keeps the
+	// harness defaults (50M events, unlimited phase budget and horizon).
+	MaxEvents        uint64            `json:"maxEvents,omitempty"`
+	PhaseEventBudget uint64            `json:"phaseEventBudget,omitempty"`
+	HorizonSeconds   float64           `json:"horizonSeconds,omitempty"`
+	Extra            map[string]string `json:"-"`
+}
+
+// FaultPlanSpec is the JSON form of a faultplan.Plan.
+type FaultPlanSpec struct {
+	Name   string      `json:"name,omitempty"`
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// PhaseSpec is the JSON form of a faultplan.Phase.
+type PhaseSpec struct {
+	Name         string       `json:"name,omitempty"`
+	DelaySeconds float64      `json:"delaySeconds,omitempty"`
+	Actions      []ActionSpec `json:"actions"`
+	Measure      bool         `json:"measure,omitempty"`
+	// Role is "", "main", or "recovery".
+	Role string `json:"role,omitempty"`
+}
+
+// ActionSpec is the JSON form of a faultplan.Action.
+type ActionSpec struct {
+	// Op is one of linkDown, linkUp, nodeDown, nodeUp, groupDown,
+	// groupUp, sessionReset, flapLink.
+	Op        string  `json:"op"`
+	AtSeconds float64 `json:"atSeconds,omitempty"`
+	// Link is the [a, b] link of linkDown/linkUp/sessionReset/flapLink;
+	// Node the node of nodeDown/nodeUp; Links the correlated group of
+	// groupDown/groupUp.
+	Link          *[2]int  `json:"link,omitempty"`
+	Node          *int     `json:"node,omitempty"`
+	Links         [][2]int `json:"links,omitempty"`
+	Cycles        int      `json:"cycles,omitempty"`
+	PeriodSeconds float64  `json:"periodSeconds,omitempty"`
+}
+
+// Plan materialises the spec into a faultplan.Plan.
+func (ps *FaultPlanSpec) Plan() (*faultplan.Plan, error) {
+	p := &faultplan.Plan{Name: ps.Name}
+	for i, phs := range ps.Phases {
+		ph := faultplan.Phase{
+			Name:    phs.Name,
+			Delay:   time.Duration(phs.DelaySeconds * float64(time.Second)),
+			Measure: phs.Measure,
+			Role:    faultplan.Role(phs.Role),
+		}
+		for _, as := range phs.Actions {
+			a, err := as.action()
+			if err != nil {
+				return nil, fmt.Errorf("experiment: faultPlan phase %d (%s): %w", i, phs.Name, err)
+			}
+			ph.Actions = append(ph.Actions, a)
+		}
+		p.Phases = append(p.Phases, ph)
+	}
+	return p, nil
+}
+
+func (as ActionSpec) action() (faultplan.Action, error) {
+	op, err := faultplan.OpFromString(as.Op)
+	if err != nil {
+		return faultplan.Action{}, err
+	}
+	a := faultplan.Action{
+		Op:     op,
+		At:     time.Duration(as.AtSeconds * float64(time.Second)),
+		Cycles: as.Cycles,
+		Period: time.Duration(as.PeriodSeconds * float64(time.Second)),
+	}
+	if as.Link != nil {
+		a.Link = topology.NormEdge(topology.Node(as.Link[0]), topology.Node(as.Link[1]))
+	}
+	if as.Node != nil {
+		a.Node = topology.Node(*as.Node)
+	}
+	for _, l := range as.Links {
+		a.Links = append(a.Links, topology.NormEdge(topology.Node(l[0]), topology.Node(l[1])))
+	}
+	return a, nil
+}
+
+// NewFaultPlanSpec renders a plan back into its JSON spec form — the
+// inverse of FaultPlanSpec.Plan for plans whose durations are whole
+// numbers of nanoseconds-in-seconds (the spec stores seconds as float64).
+func NewFaultPlanSpec(p *faultplan.Plan) *FaultPlanSpec {
+	if p == nil {
+		return nil
+	}
+	spec := &FaultPlanSpec{Name: p.Name}
+	for _, ph := range p.Phases {
+		phs := PhaseSpec{
+			Name:         ph.Name,
+			DelaySeconds: ph.Delay.Seconds(),
+			Measure:      ph.Measure,
+			Role:         string(ph.Role),
+		}
+		for _, a := range ph.Actions {
+			as := ActionSpec{
+				Op:        a.Op.String(),
+				AtSeconds: a.At.Seconds(),
+				Cycles:    a.Cycles,
+			}
+			if a.Period != 0 {
+				as.PeriodSeconds = a.Period.Seconds()
+			}
+			switch a.Op {
+			case faultplan.LinkDown, faultplan.LinkUp, faultplan.SessionReset, faultplan.FlapLink:
+				as.Link = &[2]int{int(a.Link.A), int(a.Link.B)}
+			case faultplan.NodeDown, faultplan.NodeUp:
+				n := int(a.Node)
+				as.Node = &n
+			case faultplan.GroupDown, faultplan.GroupUp:
+				for _, l := range a.Links {
+					as.Links = append(as.Links, [2]int{int(l.A), int(l.B)})
+				}
+			}
+			phs.Actions = append(phs.Actions, as)
+		}
+		spec.Phases = append(spec.Phases, phs)
+	}
+	return spec
 }
 
 // TopologySpec names a topology family and its parameters.
@@ -152,13 +282,27 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 	}
 
 	s := Scenario{
-		Graph:        g,
-		Dest:         dest,
-		BGP:          cfg,
-		Seed:         spec.Seed,
-		FlapCycles:   spec.FlapCycles,
-		RestoreDelay: time.Duration(spec.RestoreDelaySeconds * float64(time.Second)),
-		TraceLimit:   spec.TraceLimit,
+		Graph:            g,
+		Dest:             dest,
+		BGP:              cfg,
+		Seed:             spec.Seed,
+		FlapCycles:       spec.FlapCycles,
+		RestoreDelay:     time.Duration(spec.RestoreDelaySeconds * float64(time.Second)),
+		TraceLimit:       spec.TraceLimit,
+		MaxEvents:        spec.MaxEvents,
+		PhaseEventBudget: spec.PhaseEventBudget,
+		Horizon:          time.Duration(spec.HorizonSeconds * float64(time.Second)),
+	}
+	if spec.FaultPlan != nil {
+		plan, err := spec.FaultPlan.Plan()
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.FaultPlan = plan
+		if err := s.Validate(); err != nil {
+			return Scenario{}, err
+		}
+		return s, nil
 	}
 	switch spec.Event {
 	case "tdown":
@@ -176,7 +320,7 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 			return Scenario{}, fmt.Errorf("experiment: tlong needs failLink for family %q", spec.Topology.Family)
 		}
 	default:
-		return Scenario{}, fmt.Errorf("experiment: unknown event %q (want tdown or tlong)", spec.Event)
+		return Scenario{}, fmt.Errorf("experiment: unknown event %q (want tdown, tlong, or a faultPlan)", spec.Event)
 	}
 	if err := s.Validate(); err != nil {
 		return Scenario{}, err

@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"bgploop/internal/faultplan"
 	"bgploop/internal/topology"
 )
 
@@ -149,5 +152,134 @@ func TestLoadScenarioErrors(t *testing.T) {
 func TestLoadScenarioFileMissing(t *testing.T) {
 	if _, err := LoadScenarioFile("/definitely/not/here.json"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadScenarioFaultPlan(t *testing.T) {
+	spec := `{
+		"topology": {"family": "ring", "size": 6},
+		"faultPlan": {
+			"name": "srlg-then-reset",
+			"phases": [
+				{"name": "cut", "delaySeconds": 2, "measure": true, "role": "main", "actions": [
+					{"op": "groupDown", "links": [[0, 1], [2, 3]]},
+					{"op": "sessionReset", "atSeconds": 0.5, "link": [4, 5]}
+				]},
+				{"name": "heal", "delaySeconds": 1, "measure": true, "role": "recovery", "actions": [
+					{"op": "groupUp", "links": [[0, 1], [2, 3]]}
+				]}
+			]
+		},
+		"phaseEventBudget": 100000,
+		"horizonSeconds": 600,
+		"seed": 3
+	}`
+	s, err := LoadScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FaultPlan == nil {
+		t.Fatal("FaultPlan not populated")
+	}
+	if s.FaultPlan.Name != "srlg-then-reset" || len(s.FaultPlan.Phases) != 2 {
+		t.Errorf("plan = %+v", s.FaultPlan)
+	}
+	cut := s.FaultPlan.Phases[0]
+	if cut.Delay != 2*time.Second || !cut.Measure || len(cut.Actions) != 2 {
+		t.Errorf("cut phase = %+v", cut)
+	}
+	if cut.Actions[1].At != 500*time.Millisecond {
+		t.Errorf("sessionReset offset = %v, want 500ms", cut.Actions[1].At)
+	}
+	if s.PhaseEventBudget != 100000 || s.Horizon != 10*time.Minute {
+		t.Errorf("budget/horizon = %d/%v", s.PhaseEventBudget, s.Horizon)
+	}
+	// A plan-driven scenario runs without any "event" field.
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 || res.Recovery == nil {
+		t.Errorf("phases = %d, recovery = %v", len(res.Phases), res.Recovery)
+	}
+	if res.Plan != "srlg-then-reset" {
+		t.Errorf("Plan echo = %q", res.Plan)
+	}
+}
+
+func TestFaultPlanSpecRoundTrip(t *testing.T) {
+	g := topology.Ring(6)
+	plan := &faultplan.Plan{
+		Name: "round-trip",
+		Phases: []faultplan.Phase{
+			{
+				Name:  "shake",
+				Delay: 2 * time.Second,
+				Actions: []faultplan.Action{
+					faultplan.Flap(topology.NormEdge(0, 1), 3, 500*time.Millisecond),
+					faultplan.FailNode(2).AtOffset(time.Second),
+				},
+			},
+			{
+				Name:    "cut",
+				Delay:   time.Second,
+				Measure: true,
+				Role:    faultplan.RoleMain,
+				Actions: []faultplan.Action{
+					faultplan.FailGroup(topology.NormEdge(3, 4), topology.NormEdge(4, 5)),
+					faultplan.ResetSession(topology.NormEdge(5, 0)),
+				},
+			},
+			{
+				Name:    "heal",
+				Delay:   time.Second,
+				Measure: true,
+				Role:    faultplan.RoleRecovery,
+				Actions: []faultplan.Action{
+					faultplan.RestoreGroup(topology.NormEdge(3, 4), topology.NormEdge(4, 5)),
+					faultplan.RestoreNode(2),
+					faultplan.RestoreLink(topology.NormEdge(0, 1)),
+				},
+			},
+		},
+	}
+	if err := plan.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := NewFaultPlanSpec(plan)
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded FaultPlanSpec
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, back) {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", back, plan)
+	}
+}
+
+func TestLoadScenarioFaultPlanErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown op": `{"topology": {"family": "ring", "size": 4}, "faultPlan": {"phases": [
+			{"name": "p", "measure": true, "actions": [{"op": "teleport", "node": 1}]}]}}`,
+		"missing link": `{"topology": {"family": "ring", "size": 4}, "faultPlan": {"phases": [
+			{"name": "p", "measure": true, "actions": [{"op": "linkDown", "link": [0, 2]}]}]}}`,
+		"no measured phase": `{"topology": {"family": "ring", "size": 4}, "faultPlan": {"phases": [
+			{"name": "p", "actions": [{"op": "linkDown", "link": [0, 1]}]}]}}`,
+		"no phases": `{"topology": {"family": "ring", "size": 4}, "faultPlan": {"phases": []}}`,
+	}
+	for name, spec := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadScenario(strings.NewReader(spec)); err == nil {
+				t.Errorf("%s accepted", name)
+			}
+		})
 	}
 }

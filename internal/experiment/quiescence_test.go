@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bgploop/internal/bgp"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// badGadgetPolicy is node i's policy in Griffin's BAD GADGET: the
+// two-hop path through the next ring node is preferred over the direct
+// path, and every other path ranks below both. On a K4 with hub 0 this
+// ranking admits no stable routing — the protocol oscillates forever.
+type badGadgetPolicy struct {
+	next topology.Node
+}
+
+func (p badGadgetPolicy) rank(c routing.Candidate) int {
+	switch {
+	case c.Peer == p.next && c.Path.Len() == 2:
+		return 0
+	case c.Path.Len() == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (p badGadgetPolicy) Better(a, b routing.Candidate) bool {
+	ar, br := p.rank(a), p.rank(b)
+	if ar != br {
+		return ar < br
+	}
+	if a.Path.Len() != b.Path.Len() {
+		return a.Path.Len() < b.Path.Len()
+	}
+	return a.Peer < b.Peer
+}
+
+// badGadgetScenario builds the canonical no-solution policy dispute:
+// destination 0 at the hub of a K4, ring nodes 1-2-3 each preferring the
+// clockwise neighbor's two-hop path. MRAI 0 keeps the dispute wheel
+// spinning at full speed.
+func badGadgetScenario(maxEvents uint64) Scenario {
+	cfg := bgp.DefaultConfig()
+	cfg.MRAI = 0
+	next := []topology.Node{0, 2, 3, 1}
+	cfg.PolicyFor = func(self topology.Node) routing.Policy {
+		if self == 0 {
+			return routing.ShortestPath{}
+		}
+		return badGadgetPolicy{next: next[self]}
+	}
+	s := TDownScenario(topology.Clique(4), 0, cfg, 1)
+	s.MaxEvents = maxEvents
+	return s
+}
+
+func TestQuiescenceFailureOscillating(t *testing.T) {
+	_, err := Run(badGadgetScenario(30_000))
+	if err == nil {
+		t.Fatal("BAD GADGET quiesced; it must not have a stable solution")
+	}
+	if !errors.Is(err, ErrNoQuiescence) {
+		t.Fatalf("err = %v, want ErrNoQuiescence in the chain", err)
+	}
+	var qf *QuiescenceFailure
+	if !errors.As(err, &qf) {
+		t.Fatalf("err = %T, want *QuiescenceFailure", err)
+	}
+	if qf.Phase != "initial convergence" {
+		t.Errorf("Phase = %q, want \"initial convergence\"", qf.Phase)
+	}
+	if qf.Verdict != VerdictOscillating {
+		t.Errorf("Verdict = %q, want %q (recurrence %d over %d states)",
+			qf.Verdict, VerdictOscillating, qf.MaxStateRecurrence, qf.DistinctStates)
+	}
+	if qf.MaxStateRecurrence < oscillationRecurrenceThreshold {
+		t.Errorf("MaxStateRecurrence = %d, want >= %d", qf.MaxStateRecurrence, oscillationRecurrenceThreshold)
+	}
+	if qf.PendingEvents <= 0 {
+		t.Errorf("PendingEvents = %d, want > 0 (the dispute keeps scheduling work)", qf.PendingEvents)
+	}
+	if qf.NextEventAt <= 0 || qf.LastEventAt < qf.NextEventAt {
+		t.Errorf("census window [%v, %v] is not sane", qf.NextEventAt, qf.LastEventAt)
+	}
+	if len(qf.TopTalkers) == 0 {
+		t.Error("TopTalkers is empty; the oscillating ring nodes must appear")
+	}
+	if qf.HorizonHit {
+		t.Error("HorizonHit = true, want false (the event budget fired, no horizon set)")
+	}
+	if qf.EventsExecuted == 0 || qf.EventBudget == 0 {
+		t.Errorf("budget accounting = %d/%d, want both positive", qf.EventsExecuted, qf.EventBudget)
+	}
+}
+
+func TestQuiescenceFailureStillConverging(t *testing.T) {
+	// A well-behaved clique cut off at a tiny budget: plenty of work left,
+	// but every routing state is fresh — the diagnosis must not call it
+	// oscillating.
+	s := CliqueTDown(8, bgp.DefaultConfig(), 3)
+	s.MaxEvents = 50
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("expected the 50-event budget to be exhausted")
+	}
+	var qf *QuiescenceFailure
+	if !errors.As(err, &qf) {
+		t.Fatalf("err = %T, want *QuiescenceFailure", err)
+	}
+	if qf.Verdict != VerdictStillConverging {
+		t.Errorf("Verdict = %q, want %q (recurrence %d)", qf.Verdict, VerdictStillConverging, qf.MaxStateRecurrence)
+	}
+}
+
+func TestQuiescenceFailureHorizon(t *testing.T) {
+	// Speaker processing alone takes 0.1-0.5 s per update, so a 50 ms
+	// horizon fires during initial convergence.
+	s := CliqueTDown(6, bgp.DefaultConfig(), 5)
+	s.Horizon = 50 * time.Millisecond
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("expected the 50ms horizon to abort the run")
+	}
+	if !errors.Is(err, ErrNoQuiescence) {
+		t.Fatalf("err = %v, want ErrNoQuiescence in the chain", err)
+	}
+	var qf *QuiescenceFailure
+	if !errors.As(err, &qf) {
+		t.Fatalf("err = %T, want *QuiescenceFailure", err)
+	}
+	if !qf.HorizonHit {
+		t.Error("HorizonHit = false, want true")
+	}
+	if qf.VirtualTime > 50*time.Millisecond {
+		t.Errorf("VirtualTime = %v, want <= the 50ms horizon (clock must not run past it)", qf.VirtualTime)
+	}
+	if qf.NextEventAt <= 50*time.Millisecond {
+		t.Errorf("NextEventAt = %v, want beyond the horizon", qf.NextEventAt)
+	}
+}
+
+func TestPhaseEventBudget(t *testing.T) {
+	// The per-phase budget trips even though the global budget is ample.
+	s := CliqueTDown(8, bgp.DefaultConfig(), 3)
+	s.PhaseEventBudget = 50
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("expected the 50-event phase budget to be exhausted")
+	}
+	var qf *QuiescenceFailure
+	if !errors.As(err, &qf) {
+		t.Fatalf("err = %T, want *QuiescenceFailure", err)
+	}
+	if qf.EventBudget != 50 {
+		t.Errorf("EventBudget = %d, want the 50-event phase budget", qf.EventBudget)
+	}
+}
+
+func TestQuiescenceFailureMessage(t *testing.T) {
+	s := CliqueTDown(8, bgp.DefaultConfig(), 3)
+	s.MaxEvents = 50
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("expected a quiescence failure")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"did not quiesce within the event budget", // historical phrasing
+		"verdict still-converging",
+		"pending events",
+		"distinct routing states",
+	} {
+		if !contains(msg, want) {
+			t.Errorf("error message %q lacks %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -3,11 +3,13 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/dataplane"
 	"bgploop/internal/des"
+	"bgploop/internal/faultplan"
 	"bgploop/internal/loopanalysis"
 	"bgploop/internal/netsim"
 	"bgploop/internal/routing"
@@ -15,8 +17,11 @@ import (
 	"bgploop/internal/trace"
 )
 
-// ErrNoQuiescence is returned when a simulation exceeds its event budget,
-// which indicates either a pathological scenario or a protocol bug.
+// ErrNoQuiescence is returned when a simulation exceeds its event budget
+// or virtual-time horizon, which indicates either a pathological scenario,
+// a genuinely divergent policy oscillation, or a protocol bug. The
+// concrete error is a *QuiescenceFailure carrying a structured diagnosis;
+// use errors.As to inspect it.
 var ErrNoQuiescence = errors.New("experiment: simulation did not quiesce within the event budget")
 
 // Result carries everything measured in one run.
@@ -25,12 +30,14 @@ type Result struct {
 	Topology    string
 	Nodes       int
 	Event       EventKind
+	Plan        string
 	Enhancement string
 	MRAI        time.Duration
 	Seed        int64
 
-	// FailAt is the failure injection instant; InitialConvergence is how
-	// long the pristine network took to converge from cold start.
+	// FailAt is the main-phase failure injection instant;
+	// InitialConvergence is how long the pristine network took to
+	// converge from cold start.
 	FailAt             des.Time
 	InitialConvergence time.Duration
 
@@ -64,11 +71,42 @@ type Result struct {
 	FIBChanges             int
 	EventsExecuted         uint64
 
+	// Phases holds the per-phase measurements of every measured fault-
+	// plan phase (the main phase included).
+	Phases []PhaseResult
+
 	// Trace holds the protocol event trace when Scenario.TraceLimit > 0.
 	Trace *trace.Recorder
 
-	// Recovery holds the T_up phase when Scenario.RestoreDelay > 0.
+	// Recovery holds the T_up phase when the plan has a recovery-role
+	// phase (legacy: Scenario.RestoreDelay > 0).
 	Recovery *Recovery
+}
+
+// PhaseResult carries the §4.2 metrics for one measured fault-plan phase.
+type PhaseResult struct {
+	// Name and Role echo the plan phase.
+	Name string
+	Role string
+	// InjectAt is the phase's injection instant; End the quiescence
+	// instant of the phase.
+	InjectAt des.Time
+	End      des.Time
+	// ConvergenceTime is injection instant -> last update sent within
+	// the phase.
+	ConvergenceTime time.Duration
+	// Replay covers packets sent during the phase's convergence window;
+	// the derived metrics mirror the paper's §4.2 set.
+	Replay          dataplane.ReplayResult
+	LoopingDuration time.Duration
+	LoopingRatio    float64
+	TTLExhaustions  int
+	PacketsSent     int
+	// Loops are the transient loops attributed to this phase.
+	Loops     []loopanalysis.Loop
+	LoopStats loopanalysis.Stats
+	// EventsExecuted counts the DES events the phase consumed.
+	EventsExecuted uint64
 }
 
 // Recovery captures the T_up phase of a flap scenario: the failed
@@ -124,14 +162,36 @@ func (o *observer) UpdateSent(now des.Time, from, to topology.Node, update bgp.U
 
 var _ bgp.Observer = (*observer)(nil)
 
-// Run executes the scenario: originate the destination, converge, inject
-// the failure, converge again, then replay the packet workload over the
-// recorded FIB history and extract all metrics.
+// phaseExec is the execution record of one plan phase.
+type phaseExec struct {
+	phase       faultplan.Phase
+	injectAt    des.Time
+	end         des.Time
+	convergedAt des.Time
+	used        uint64
+}
+
+// Run executes the scenario: originate the destination, converge, then
+// drive the fault plan phase by phase (legacy single-event scenarios
+// compile to a canonical plan via CanonicalPlan), re-converging after each
+// phase. Measured phases get the packet workload replayed over their
+// convergence window and their exact transient-loop intervals extracted.
 func Run(s Scenario) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	s = s.withDefaults()
+	plan := s.FaultPlan
+	if plan == nil {
+		var err error
+		if plan, err = CanonicalPlan(s); err != nil {
+			return nil, err
+		}
+	}
+	mainIdx := plan.MainPhase()
+	if mainIdx < 0 {
+		return nil, errors.New("experiment: fault plan has no measured phase")
+	}
 
 	sched := des.NewScheduler()
 	net := netsim.New(sched, s.Graph, s.LinkDelay)
@@ -141,6 +201,7 @@ func Run(s Scenario) (*Result, error) {
 		sched:   sched,
 		history: dataplane.NewHistory(s.Graph.NumNodes()),
 	}
+	probe := bgp.NewOscillationProbe(s.Graph.NumNodes(), s.Dest)
 
 	var speakerObs bgp.Observer = obs
 	var recorder *trace.Recorder
@@ -149,6 +210,7 @@ func Run(s Scenario) (*Result, error) {
 		recorder.Limit = s.TraceLimit
 		speakerObs = recorder
 	}
+	speakerObs = bgp.Tee(speakerObs, probe)
 
 	speakers := make([]*bgp.Speaker, s.Graph.NumNodes())
 	for _, v := range s.Graph.Nodes() {
@@ -159,170 +221,126 @@ func Run(s Scenario) (*Result, error) {
 		speakers[v] = sp
 	}
 
-	// Phase 1: cold-start convergence.
+	horizon := des.Time(math.MaxInt64)
+	if s.Horizon > 0 {
+		horizon = s.Horizon
+	}
+	budget := s.MaxEvents
+
+	// runToQuiescence drains the scheduler under the watchdog: the
+	// remaining global budget, the optional per-phase budget, and the
+	// virtual-time horizon. On exhaustion it returns a structured
+	// *QuiescenceFailure diagnosis.
+	runToQuiescence := func(phaseName string) (uint64, error) {
+		limit := budget
+		if s.PhaseEventBudget > 0 && s.PhaseEventBudget < limit {
+			limit = s.PhaseEventBudget
+		}
+		used, hitHorizon := sched.RunLimitUntil(limit, horizon)
+		budget -= used
+		pending, _, _ := sched.PendingCensus()
+		if (used >= limit && pending > 0) || hitHorizon {
+			return used, diagnoseQuiescenceFailure(phaseName, sched, probe, limit, used, hitHorizon)
+		}
+		if obs.err != nil {
+			return used, obs.err
+		}
+		return used, nil
+	}
+
+	// Phase 0: cold-start convergence.
+	probe.BeginPhase(sched.Now())
 	if err := speakers[s.Dest].Originate(s.Dest); err != nil {
 		return nil, err
 	}
-	budget := s.MaxEvents
-	used := sched.RunLimit(budget)
-	if used >= budget {
-		return nil, fmt.Errorf("%w (initial convergence, %d events)", ErrNoQuiescence, used)
-	}
-	budget -= used
-	initialConv := obs.lastSent
-
-	// Phase 1b (optional extension): pre-flap cycles, so flap-damping
-	// penalties accumulate before the measured failure.
-	for cycle := 0; cycle < s.FlapCycles; cycle++ {
-		for _, action := range []func(des.Time) error{
-			func(at des.Time) error { return s.injectFailure(net, at) },
-			func(at des.Time) error { return s.injectRepair(net, at) },
-		} {
-			if err := action(sched.Now() + s.SettleDelay); err != nil {
-				return nil, err
-			}
-			used = sched.RunLimit(budget)
-			if used >= budget {
-				return nil, fmt.Errorf("%w (pre-flap cycle %d, %d events)", ErrNoQuiescence, cycle, used)
-			}
-			budget -= used
-		}
-	}
-
-	// Phase 2: failure and re-convergence.
-	failAt := sched.Now() + s.SettleDelay
-	if err := s.injectFailure(net, failAt); err != nil {
+	if _, err := runToQuiescence("initial convergence"); err != nil {
 		return nil, err
 	}
-	obs.lastSent = 0 // reset: we want the last update after the failure
-	obs.anySent = false
-	used = sched.RunLimit(budget)
-	if used >= budget {
-		return nil, fmt.Errorf("%w (post-failure, %d events)", ErrNoQuiescence, used)
-	}
-	if obs.err != nil {
-		return nil, obs.err
-	}
+	initialConv := obs.lastSent
 
-	convergedAt := failAt
-	if obs.anySent && obs.lastSent > failAt {
-		convergedAt = obs.lastSent
-	}
-	failurePhaseEnd := sched.Now()
-
-	// Phase 2b (optional extension): repair the failed element (T_up) and
-	// re-converge.
-	var (
-		restoreAt   des.Time
-		recoveredAt des.Time
-	)
-	if s.RestoreDelay > 0 {
-		restoreAt = sched.Now() + s.RestoreDelay
-		if err := s.injectRepair(net, restoreAt); err != nil {
+	// Drive the plan: each phase schedules its action timeline at
+	// quiescence + delay, then re-converges.
+	execs := make([]phaseExec, len(plan.Phases))
+	for i, ph := range plan.Phases {
+		injectAt := sched.Now() + ph.Delay
+		for _, a := range ph.Actions {
+			if err := a.Schedule(net, injectAt); err != nil {
+				return nil, fmt.Errorf("experiment: phase %q: %w", ph.Name, err)
+			}
+		}
+		if ph.Measure {
+			obs.lastSent = 0 // reset: measure the last update after this injection
+			obs.anySent = false
+		}
+		probe.BeginPhase(sched.Now())
+		used, err := runToQuiescence(ph.Name)
+		if err != nil {
 			return nil, err
 		}
-		obs.lastSent = 0
-		obs.anySent = false
-		used = sched.RunLimit(budget)
-		if used >= budget {
-			return nil, fmt.Errorf("%w (recovery, %d events)", ErrNoQuiescence, used)
+		convergedAt := injectAt
+		if ph.Measure && obs.anySent && obs.lastSent > injectAt {
+			convergedAt = obs.lastSent
 		}
-		if obs.err != nil {
-			return nil, obs.err
-		}
-		recoveredAt = restoreAt
-		if obs.anySent && obs.lastSent > restoreAt {
-			recoveredAt = obs.lastSent
-		}
+		execs[i] = phaseExec{phase: ph, injectAt: injectAt, end: sched.Now(), convergedAt: convergedAt, used: used}
 	}
 
-	// Phase 3: data-plane replay over the convergence window.
+	// Replay the packet workload and extract exact loop intervals per
+	// measured phase.
 	sources := make([]topology.Node, 0, s.Graph.NumNodes()-1)
 	for _, v := range s.Graph.Nodes() {
 		if v != s.Dest {
 			sources = append(sources, v)
 		}
 	}
-	replay, err := dataplane.Replay(obs.history, dataplane.ReplayConfig{
-		Dest:      s.Dest,
-		Sources:   sources,
-		Start:     failAt,
-		End:       convergedAt,
-		Interval:  s.PacketInterval,
-		TTL:       s.TTL,
-		LinkDelay: s.LinkDelay,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 4: exact loop intervals after the failure. The horizon is the
-	// end of the failure phase (not convergedAt): the last *sent* update
-	// still needs delivery and processing before the receiving FIB
-	// changes, so loops can outlive the paper's convergence instant by a
-	// propagation-plus-processing delay.
-	horizon := failurePhaseEnd
-	if convergedAt > horizon {
-		horizon = convergedAt
-	}
-	allLoops := loopanalysis.FindLoops(obs.history, horizon)
-	var postFailLoops []loopanalysis.Loop
-	for _, l := range allLoops {
-		if l.End > failAt && (s.RestoreDelay == 0 || l.Start < restoreAt) {
-			postFailLoops = append(postFailLoops, l)
+	var phases []PhaseResult
+	byIndex := make(map[int]int, len(plan.Phases)) // plan index -> phases index
+	for i, ex := range execs {
+		if !ex.phase.Measure {
+			continue
 		}
-	}
-
-	var recovery *Recovery
-	if s.RestoreDelay > 0 {
-		recReplay, err := dataplane.Replay(obs.history, dataplane.ReplayConfig{
-			Dest:      s.Dest,
-			Sources:   sources,
-			Start:     restoreAt,
-			End:       recoveredAt,
-			Interval:  s.PacketInterval,
-			TTL:       s.TTL,
-			LinkDelay: s.LinkDelay,
-		})
+		pr, err := s.measurePhase(obs.history, sources, execs, i)
 		if err != nil {
 			return nil, err
 		}
-		recovery = &Recovery{
-			RestoreAt:       restoreAt,
-			ConvergenceTime: recoveredAt - restoreAt,
-			Replay:          recReplay,
-			LoopingDuration: recReplay.OverallLoopingDuration(),
-			LoopingRatio:    recReplay.LoopingRatio(),
-			TTLExhaustions:  recReplay.TTLExhausted,
-		}
-		for _, l := range loopanalysis.FindLoops(obs.history, sched.Now()) {
-			if l.End > restoreAt {
-				recovery.Loops = append(recovery.Loops, l)
-			}
-		}
+		byIndex[i] = len(phases)
+		phases = append(phases, pr)
 	}
 
+	main := phases[byIndex[mainIdx]]
 	res := &Result{
 		Topology:           s.Graph.Name(),
 		Nodes:              s.Graph.NumNodes(),
 		Event:              s.Event,
+		Plan:               plan.Name,
 		Enhancement:        s.BGP.Enhancements.String(),
 		MRAI:               s.BGP.MRAI,
 		Seed:               s.Seed,
-		FailAt:             failAt,
+		FailAt:             main.InjectAt,
 		InitialConvergence: initialConv,
-		ConvergenceTime:    convergedAt - failAt,
-		Replay:             replay,
-		LoopingDuration:    replay.OverallLoopingDuration(),
-		LoopingRatio:       replay.LoopingRatio(),
-		TTLExhaustions:     replay.TTLExhausted,
-		PacketsSent:        replay.Sent,
-		Loops:              postFailLoops,
-		LoopStats:          loopanalysis.Summarize(postFailLoops),
+		ConvergenceTime:    main.ConvergenceTime,
+		Replay:             main.Replay,
+		LoopingDuration:    main.LoopingDuration,
+		LoopingRatio:       main.LoopingRatio,
+		TTLExhaustions:     main.TTLExhaustions,
+		PacketsSent:        main.PacketsSent,
+		Loops:              main.Loops,
+		LoopStats:          main.LoopStats,
 		FIBChanges:         obs.history.TotalChanges(),
 		EventsExecuted:     sched.Executed(),
+		Phases:             phases,
 		Trace:              recorder,
-		Recovery:           recovery,
+	}
+	if recIdx := plan.RecoveryPhase(); recIdx >= 0 {
+		rec := phases[byIndex[recIdx]]
+		res.Recovery = &Recovery{
+			RestoreAt:       rec.InjectAt,
+			ConvergenceTime: rec.ConvergenceTime,
+			Replay:          rec.Replay,
+			LoopingDuration: rec.LoopingDuration,
+			LoopingRatio:    rec.LoopingRatio,
+			TTLExhaustions:  rec.TTLExhaustions,
+			Loops:           rec.Loops,
+		}
 	}
 	for _, sp := range speakers {
 		st := sp.Stats()
@@ -339,26 +357,61 @@ func Run(s Scenario) (*Result, error) {
 	return res, nil
 }
 
-// injectFailure schedules the scenario's configured failure at time at.
-func (s Scenario) injectFailure(net *netsim.Network, at des.Time) error {
-	switch s.Event {
-	case TDown:
-		return net.FailNode(at, s.Dest)
-	case TLong:
-		return net.FailLink(at, s.FailLink.A, s.FailLink.B)
-	default:
-		return fmt.Errorf("experiment: unknown event kind %d", int(s.Event))
+// measurePhase computes the §4.2 metrics of measured phase i: packet
+// replay over the phase's convergence window and the transient loops
+// attributed to the phase.
+func (s Scenario) measurePhase(history *dataplane.History, sources []topology.Node, execs []phaseExec, i int) (PhaseResult, error) {
+	ex := execs[i]
+	replay, err := dataplane.Replay(history, dataplane.ReplayConfig{
+		Dest:      s.Dest,
+		Sources:   sources,
+		Start:     ex.injectAt,
+		End:       ex.convergedAt,
+		Interval:  s.PacketInterval,
+		TTL:       s.TTL,
+		LinkDelay: s.LinkDelay,
+	})
+	if err != nil {
+		return PhaseResult{}, err
 	}
-}
 
-// injectRepair schedules the inverse of injectFailure at time at.
-func (s Scenario) injectRepair(net *netsim.Network, at des.Time) error {
-	switch s.Event {
-	case TDown:
-		return net.RestoreNode(at, s.Dest)
-	case TLong:
-		return net.RestoreLink(at, s.FailLink.A, s.FailLink.B)
-	default:
-		return fmt.Errorf("experiment: unknown event kind %d", int(s.Event))
+	// The loop horizon is the end of the phase (not convergedAt): the
+	// last *sent* update still needs delivery and processing before the
+	// receiving FIB changes, so loops can outlive the paper's
+	// convergence instant by a propagation-plus-processing delay.
+	horizon := ex.end
+	if ex.convergedAt > horizon {
+		horizon = ex.convergedAt
 	}
+	// A loop belongs to this phase if it was alive after the phase's
+	// injection and born before the next phase's injection (if any).
+	var (
+		nextInject des.Time
+		hasNext    = i+1 < len(execs)
+	)
+	if hasNext {
+		nextInject = execs[i+1].injectAt
+	}
+	var loops []loopanalysis.Loop
+	for _, l := range loopanalysis.FindLoops(history, horizon) {
+		if l.End > ex.injectAt && (!hasNext || l.Start < nextInject) {
+			loops = append(loops, l)
+		}
+	}
+
+	return PhaseResult{
+		Name:            ex.phase.Name,
+		Role:            string(ex.phase.Role),
+		InjectAt:        ex.injectAt,
+		End:             ex.end,
+		ConvergenceTime: ex.convergedAt - ex.injectAt,
+		Replay:          replay,
+		LoopingDuration: replay.OverallLoopingDuration(),
+		LoopingRatio:    replay.LoopingRatio(),
+		TTLExhaustions:  replay.TTLExhausted,
+		PacketsSent:     replay.Sent,
+		Loops:           loops,
+		LoopStats:       loopanalysis.Summarize(loops),
+		EventsExecuted:  ex.used,
+	}, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/dataplane"
+	"bgploop/internal/faultplan"
 	"bgploop/internal/topology"
 )
 
@@ -77,6 +78,21 @@ type Scenario struct {
 	// damping enabled (bgp.Config.Damping) the pre-flaps accumulate
 	// penalties, changing how the measured failure unfolds.
 	FlapCycles int
+	// FaultPlan, when non-nil, replaces the single-event model: the
+	// plan's phases drive failure injection and per-phase measurement,
+	// and Event, FailLink, RestoreDelay, and FlapCycles are ignored.
+	// The legacy fields compile to such a plan internally; see
+	// CanonicalPlan.
+	FaultPlan *faultplan.Plan
+	// PhaseEventBudget, when positive, caps the events any single plan
+	// phase may execute (the watchdog's per-phase budget). Zero lets
+	// each phase spend the remaining global MaxEvents budget, matching
+	// the legacy behaviour.
+	PhaseEventBudget uint64
+	// Horizon, when positive, caps the total virtual time of the run:
+	// a phase whose next pending event lies beyond the horizon aborts
+	// with a QuiescenceFailure diagnosis. Zero disables the cap.
+	Horizon time.Duration
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -109,6 +125,16 @@ func (s Scenario) Validate() error {
 	if !s.Graph.Connected() {
 		return errors.New("experiment: topology must start connected")
 	}
+	if s.Horizon < 0 {
+		return fmt.Errorf("experiment: negative horizon %v", s.Horizon)
+	}
+	if s.FaultPlan != nil {
+		// The plan supersedes the single-event fields entirely.
+		if err := s.FaultPlan.Validate(s.Graph); err != nil {
+			return err
+		}
+		return s.BGP.Validate()
+	}
 	switch s.Event {
 	case TDown:
 		// Nothing else to check.
@@ -129,6 +155,60 @@ func (s Scenario) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// CanonicalPlan expresses the scenario's legacy single-event fields
+// (Event, FailLink, SettleDelay, FlapCycles, RestoreDelay) as an explicit
+// fault plan: FlapCycles pre-flap phase pairs, one measured "failure"
+// phase, and — when RestoreDelay is set — one measured "recovery" phase.
+// Run compiles legacy scenarios through this function, so installing the
+// returned plan in Scenario.FaultPlan reproduces the legacy event
+// schedule, traces, and metrics byte for byte.
+func CanonicalPlan(s Scenario) (*faultplan.Plan, error) {
+	s = s.withDefaults()
+	var fail, repair faultplan.Action
+	switch s.Event {
+	case TDown:
+		fail = faultplan.FailNode(s.Dest)
+		repair = faultplan.RestoreNode(s.Dest)
+	case TLong:
+		fail = faultplan.FailLink(s.FailLink)
+		repair = faultplan.RestoreLink(s.FailLink)
+	default:
+		return nil, fmt.Errorf("experiment: unknown event kind %d", int(s.Event))
+	}
+	p := &faultplan.Plan{Name: fmt.Sprintf("canonical-%s", s.Event)}
+	for c := 0; c < s.FlapCycles; c++ {
+		p.Phases = append(p.Phases,
+			faultplan.Phase{
+				Name:    fmt.Sprintf("preflap-%d-down", c),
+				Delay:   s.SettleDelay,
+				Actions: []faultplan.Action{fail},
+			},
+			faultplan.Phase{
+				Name:    fmt.Sprintf("preflap-%d-up", c),
+				Delay:   s.SettleDelay,
+				Actions: []faultplan.Action{repair},
+			},
+		)
+	}
+	p.Phases = append(p.Phases, faultplan.Phase{
+		Name:    "failure",
+		Delay:   s.SettleDelay,
+		Actions: []faultplan.Action{fail},
+		Measure: true,
+		Role:    faultplan.RoleMain,
+	})
+	if s.RestoreDelay > 0 {
+		p.Phases = append(p.Phases, faultplan.Phase{
+			Name:    "recovery",
+			Delay:   s.RestoreDelay,
+			Actions: []faultplan.Action{repair},
+			Measure: true,
+			Role:    faultplan.RoleRecovery,
+		})
+	}
+	return p, nil
 }
 
 // TDownScenario builds the paper's T_down experiment on g: destination AS

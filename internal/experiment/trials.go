@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"bgploop/internal/bgp"
@@ -10,9 +12,66 @@ import (
 	"bgploop/internal/topology"
 )
 
+// ErrTrialPanic marks a TrialFailure caused by a panic inside a trial
+// (scenario generation or the simulation itself) that the sweep harness
+// recovered from.
+var ErrTrialPanic = errors.New("experiment: trial panicked")
+
+// TrialFailure is the structured report of one failed trial in a sweep.
+// It carries the exact Scenario and seed so the failure can be replayed
+// in isolation with experiment.Run.
+type TrialFailure struct {
+	// Trial is the zero-based trial index.
+	Trial int
+	// Scenario and Seed replay the failure (Scenario is the zero value
+	// when the generator itself failed before producing one).
+	Scenario Scenario `json:"-"`
+	Seed     int64
+	// Err is the underlying error; for panics it wraps ErrTrialPanic.
+	Err error `json:"-"`
+	// Panicked, PanicValue and Stack describe a recovered panic. The
+	// stack is for human debugging only — it contains nondeterministic
+	// addresses and must never enter a digested result.
+	Panicked   bool
+	PanicValue string
+	Stack      string `json:"-"`
+}
+
+// Error implements error with the sweep's historical message shape.
+func (f *TrialFailure) Error() string {
+	return fmt.Sprintf("experiment: trial %d: %v", f.Trial, f.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (f *TrialFailure) Unwrap() error { return f.Err }
+
+// SweepOptions tunes the graceful-degradation behaviour of a trial sweep.
+type SweepOptions struct {
+	// ContinueOnFailure keeps the sweep running past failed trials,
+	// collecting TrialFailure reports and aggregating the survivors.
+	// When false the sweep stops at the first failure (but still returns
+	// the partial results gathered so far).
+	ContinueOnFailure bool
+	// MaxFailureRatio is the failed/attempted ratio above which a
+	// continue-on-failure sweep is reported as an error anyway (the
+	// surviving sample is no longer representative). Zero means the
+	// default of 0.5.
+	MaxFailureRatio float64
+}
+
+// DefaultMaxFailureRatio is the failure-rate threshold applied when
+// SweepOptions.MaxFailureRatio is zero.
+const DefaultMaxFailureRatio = 0.5
+
 // Aggregate summarises a metric set over replicated trials.
 type Aggregate struct {
-	Trials int
+	// Trials counts the successful trials backing the samples; Attempted
+	// counts all trials the sweep ran, including failed ones.
+	Trials    int
+	Attempted int
+	// Failures holds the structured reports of failed trials (empty on a
+	// fully successful sweep).
+	Failures []*TrialFailure
 	// ConvergenceSec and LoopingDurationSec are in seconds for direct use
 	// as figure series.
 	ConvergenceSec     metrics.Sample
@@ -32,30 +91,52 @@ type Aggregate struct {
 type Generator func(trial int) (Scenario, error)
 
 // RunTrials executes trials scenarios from gen and aggregates the metric
-// samples. It returns the aggregate and the individual results.
+// samples. It returns the aggregate and the individual results. The sweep
+// stops at the first failed trial, but — unlike earlier versions — the
+// results and aggregate of the trials that succeeded before the failure
+// are returned alongside the error, so callers can salvage a partially
+// completed sweep. Use RunTrialsOpts for continue-on-failure semantics.
 func RunTrials(gen Generator, trials int) (Aggregate, []*Result, error) {
+	return RunTrialsOpts(gen, trials, SweepOptions{})
+}
+
+// RunTrialsOpts executes trials scenarios from gen under the given sweep
+// options. A panic inside scenario generation or the simulation is
+// recovered and converted into a structured TrialFailure carrying the
+// replayable Scenario and seed, so one crashing trial cannot take down a
+// long parameter sweep. Failed trials are reported in Aggregate.Failures;
+// the metric samples aggregate the surviving trials only. Partial results
+// are returned even when an error is.
+func RunTrialsOpts(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Result, error) {
 	if trials <= 0 {
 		return Aggregate{}, nil, fmt.Errorf("experiment: non-positive trial count %d", trials)
 	}
+	maxRatio := opts.MaxFailureRatio
+	if maxRatio == 0 {
+		maxRatio = DefaultMaxFailureRatio
+	}
 	var (
-		results  []*Result
-		conv     []float64
-		loopDur  []float64
-		exhaust  []float64
-		ratio    []float64
-		packets  []float64
-		updates  []float64
-		loopCnt  []float64
-		maxLoopN []float64
+		results   []*Result
+		failures  []*TrialFailure
+		attempted int
+		conv      []float64
+		loopDur   []float64
+		exhaust   []float64
+		ratio     []float64
+		packets   []float64
+		updates   []float64
+		loopCnt   []float64
+		maxLoopN  []float64
 	)
 	for i := 0; i < trials; i++ {
-		s, err := gen(i)
-		if err != nil {
-			return Aggregate{}, nil, fmt.Errorf("experiment: trial %d: %w", i, err)
-		}
-		res, err := Run(s)
-		if err != nil {
-			return Aggregate{}, nil, fmt.Errorf("experiment: trial %d: %w", i, err)
+		attempted++
+		res, fail := runOneTrial(gen, i)
+		if fail != nil {
+			failures = append(failures, fail)
+			if !opts.ContinueOnFailure {
+				break
+			}
+			continue
 		}
 		results = append(results, res)
 		conv = append(conv, res.ConvergenceTime.Seconds())
@@ -68,7 +149,9 @@ func RunTrials(gen Generator, trials int) (Aggregate, []*Result, error) {
 		maxLoopN = append(maxLoopN, float64(res.LoopStats.MaxSize))
 	}
 	agg := Aggregate{
-		Trials:             trials,
+		Trials:             len(results),
+		Attempted:          attempted,
+		Failures:           failures,
 		ConvergenceSec:     metrics.NewSample(conv),
 		LoopingDurationSec: metrics.NewSample(loopDur),
 		TTLExhaustions:     metrics.NewSample(exhaust),
@@ -78,7 +161,53 @@ func RunTrials(gen Generator, trials int) (Aggregate, []*Result, error) {
 		LoopCount:          metrics.NewSample(loopCnt),
 		MaxLoopSize:        metrics.NewSample(maxLoopN),
 	}
-	return agg, results, nil
+	switch {
+	case len(failures) == 0:
+		return agg, results, nil
+	case !opts.ContinueOnFailure:
+		return agg, results, failures[0]
+	case float64(len(failures))/float64(attempted) > maxRatio:
+		return agg, results, fmt.Errorf("experiment: %d of %d trials failed, above the %.2f failure-ratio threshold: %w",
+			len(failures), attempted, maxRatio, failures[0])
+	default:
+		return agg, results, nil
+	}
+}
+
+// runOneTrial generates and runs trial i, converting any error or panic
+// into a structured TrialFailure.
+func runOneTrial(gen Generator, trial int) (res *Result, fail *TrialFailure) {
+	var (
+		s            Scenario
+		haveScenario bool
+	)
+	defer func() {
+		if r := recover(); r != nil {
+			fail = &TrialFailure{
+				Trial:      trial,
+				Err:        fmt.Errorf("%w: %v", ErrTrialPanic, r),
+				Panicked:   true,
+				PanicValue: fmt.Sprint(r),
+				Stack:      string(debug.Stack()),
+			}
+			if haveScenario {
+				fail.Scenario = s
+				fail.Seed = s.Seed
+			}
+			res = nil
+		}
+	}()
+	var err error
+	s, err = gen(trial)
+	if err != nil {
+		return nil, &TrialFailure{Trial: trial, Err: err}
+	}
+	haveScenario = true
+	res, err = Run(s)
+	if err != nil {
+		return nil, &TrialFailure{Trial: trial, Scenario: s, Seed: s.Seed, Err: err}
+	}
+	return res, nil
 }
 
 // Repeat builds a Generator that reuses one scenario with per-trial seeds

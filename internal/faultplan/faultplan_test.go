@@ -1,0 +1,249 @@
+package faultplan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/netsim"
+	"bgploop/internal/topology"
+)
+
+// recorder logs peer transitions with their virtual times.
+type recorder struct {
+	sched *des.Scheduler
+	downs []des.Time
+	ups   []des.Time
+}
+
+func (r *recorder) Deliver(from topology.Node, payload any) {}
+func (r *recorder) PeerDown(peer topology.Node)             { r.downs = append(r.downs, r.sched.Now()) }
+func (r *recorder) PeerUp(peer topology.Node)               { r.ups = append(r.ups, r.sched.Now()) }
+
+func build(t *testing.T, g *topology.Graph) (*des.Scheduler, *netsim.Network, []*recorder) {
+	t.Helper()
+	sched := des.NewScheduler()
+	net := netsim.New(sched, g, time.Millisecond)
+	recs := make([]*recorder, g.NumNodes())
+	for _, v := range g.Nodes() {
+		recs[v] = &recorder{sched: sched}
+		net.Attach(v, recs[v])
+	}
+	return sched, net, recs
+}
+
+func TestOpStringRoundTrip(t *testing.T) {
+	for op := LinkDown; op <= FlapLink; op++ {
+		name := op.String()
+		if strings.HasPrefix(name, "Op(") {
+			t.Fatalf("op %d has no name", int(op))
+		}
+		back, err := OpFromString(name)
+		if err != nil {
+			t.Fatalf("OpFromString(%q): %v", name, err)
+		}
+		if back != op {
+			t.Errorf("round trip %q: got %v want %v", name, back, op)
+		}
+	}
+	if _, err := OpFromString("noSuchOp"); err == nil {
+		t.Error("OpFromString accepted an unknown name")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	g := topology.Ring(4)
+	good := &Plan{Name: "ok", Phases: []Phase{{
+		Name:    "down",
+		Actions: []Action{FailLink(topology.NormEdge(0, 1))},
+		Measure: true,
+	}}}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"nil plan", nil},
+		{"no phases", &Plan{Name: "empty"}},
+		{"no measured phase", &Plan{Phases: []Phase{{
+			Name: "p", Actions: []Action{FailLink(topology.NormEdge(0, 1))},
+		}}}},
+		{"no actions", &Plan{Phases: []Phase{{Name: "p", Measure: true}}}},
+		{"negative delay", &Plan{Phases: []Phase{{
+			Name: "p", Delay: -time.Second, Measure: true,
+			Actions: []Action{FailLink(topology.NormEdge(0, 1))},
+		}}}},
+		{"unknown role", &Plan{Phases: []Phase{{
+			Name: "p", Measure: true, Role: Role("warmup"),
+			Actions: []Action{FailLink(topology.NormEdge(0, 1))},
+		}}}},
+		{"missing link", &Plan{Phases: []Phase{{
+			Name: "p", Measure: true,
+			Actions: []Action{FailLink(topology.NormEdge(0, 2))},
+		}}}},
+		{"missing node", &Plan{Phases: []Phase{{
+			Name: "p", Measure: true,
+			Actions: []Action{FailNode(9)},
+		}}}},
+		{"empty group", &Plan{Phases: []Phase{{
+			Name: "p", Measure: true,
+			Actions: []Action{{Op: GroupDown}},
+		}}}},
+		{"flap without cycles", &Plan{Phases: []Phase{{
+			Name: "p", Measure: true,
+			Actions: []Action{Flap(topology.NormEdge(0, 1), 0, time.Second)},
+		}}}},
+		{"flap without period", &Plan{Phases: []Phase{{
+			Name: "p", Measure: true,
+			Actions: []Action{Flap(topology.NormEdge(0, 1), 2, 0)},
+		}}}},
+		{"negative offset", &Plan{Phases: []Phase{{
+			Name: "p", Measure: true,
+			Actions: []Action{FailLink(topology.NormEdge(0, 1)).AtOffset(-time.Second)},
+		}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(g); err == nil {
+			t.Errorf("%s: Validate accepted the plan", tc.name)
+		}
+	}
+}
+
+func TestMainAndRecoveryPhase(t *testing.T) {
+	e := FailLink(topology.NormEdge(0, 1))
+	p := &Plan{Phases: []Phase{
+		{Name: "warm", Actions: []Action{e}},
+		{Name: "a", Actions: []Action{e}, Measure: true},
+		{Name: "b", Actions: []Action{e}, Measure: true, Role: RoleMain},
+		{Name: "c", Actions: []Action{e}, Measure: true, Role: RoleRecovery},
+	}}
+	if got := p.MainPhase(); got != 2 {
+		t.Errorf("MainPhase = %d, want 2 (explicit RoleMain)", got)
+	}
+	if got := p.RecoveryPhase(); got != 3 {
+		t.Errorf("RecoveryPhase = %d, want 3", got)
+	}
+	noRole := &Plan{Phases: []Phase{
+		{Name: "warm", Actions: []Action{e}},
+		{Name: "a", Actions: []Action{e}, Measure: true},
+	}}
+	if got := noRole.MainPhase(); got != 1 {
+		t.Errorf("MainPhase = %d, want 1 (first measured)", got)
+	}
+	if got := noRole.RecoveryPhase(); got != -1 {
+		t.Errorf("RecoveryPhase = %d, want -1", got)
+	}
+}
+
+func TestScheduleLinkAndOffset(t *testing.T) {
+	g := topology.Ring(4)
+	sched, net, recs := build(t, g)
+	e := topology.NormEdge(0, 1)
+	if err := FailLink(e).AtOffset(10*time.Millisecond).Schedule(net, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreLink(e).AtOffset(30*time.Millisecond).Schedule(net, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	want := time.Second + 10*time.Millisecond
+	if len(recs[0].downs) != 1 || recs[0].downs[0] != want {
+		t.Errorf("node 0 downs = %v, want [%v]", recs[0].downs, want)
+	}
+	want = time.Second + 30*time.Millisecond
+	if len(recs[1].ups) != 1 || recs[1].ups[0] != want {
+		t.Errorf("node 1 ups = %v, want [%v]", recs[1].ups, want)
+	}
+}
+
+func TestScheduleGroupIsCorrelated(t *testing.T) {
+	g := topology.Ring(4)
+	sched, net, recs := build(t, g)
+	group := []topology.Edge{topology.NormEdge(0, 1), topology.NormEdge(2, 3)}
+	if err := FailGroup(group...).Schedule(net, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreGroup(group...).Schedule(net, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	for _, v := range []topology.Node{0, 1, 2, 3} {
+		if len(recs[v].downs) != 1 || recs[v].downs[0] != time.Second {
+			t.Errorf("node %d downs = %v, want one at 1s", v, recs[v].downs)
+		}
+		if len(recs[v].ups) != 1 || recs[v].ups[0] != 2*time.Second {
+			t.Errorf("node %d ups = %v, want one at 2s", v, recs[v].ups)
+		}
+	}
+}
+
+func TestScheduleFlapExpansion(t *testing.T) {
+	g := topology.Ring(4)
+	sched, net, recs := build(t, g)
+	e := topology.NormEdge(0, 1)
+	if err := Flap(e, 3, 100*time.Millisecond).Schedule(net, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[0].downs) != 3 || len(recs[0].ups) != 3 {
+		t.Fatalf("downs/ups = %d/%d, want 3/3", len(recs[0].downs), len(recs[0].ups))
+	}
+	for i := 0; i < 3; i++ {
+		wantDown := time.Second + time.Duration(2*i)*100*time.Millisecond
+		wantUp := time.Second + time.Duration(2*i+1)*100*time.Millisecond
+		if recs[0].downs[i] != wantDown {
+			t.Errorf("down %d at %v, want %v", i, recs[0].downs[i], wantDown)
+		}
+		if recs[0].ups[i] != wantUp {
+			t.Errorf("up %d at %v, want %v", i, recs[0].ups[i], wantUp)
+		}
+	}
+}
+
+func TestScheduleSessionReset(t *testing.T) {
+	g := topology.Ring(4)
+	sched, net, recs := build(t, g)
+	if err := ResetSession(topology.NormEdge(0, 1)).Schedule(net, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	// Both endpoints bounce: PeerDown immediately followed by PeerUp at
+	// the same instant, with the link operational afterwards.
+	for _, v := range []topology.Node{0, 1} {
+		if len(recs[v].downs) != 1 || recs[v].downs[0] != time.Second {
+			t.Errorf("node %d downs = %v, want one at 1s", v, recs[v].downs)
+		}
+		if len(recs[v].ups) != 1 || recs[v].ups[0] != time.Second {
+			t.Errorf("node %d ups = %v, want one at 1s", v, recs[v].ups)
+		}
+	}
+	if err := net.Send(0, 1, "after"); err != nil {
+		t.Errorf("link should be up after a session reset: %v", err)
+	}
+}
+
+func TestScheduleNode(t *testing.T) {
+	g := topology.Star(4)
+	sched, net, recs := build(t, g)
+	if err := FailNode(0).Schedule(net, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreNode(0).Schedule(net, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	for _, v := range []topology.Node{1, 2, 3} {
+		if len(recs[v].downs) != 1 || len(recs[v].ups) != 1 {
+			t.Errorf("spoke %d transitions = %d down / %d up, want 1/1",
+				v, len(recs[v].downs), len(recs[v].ups))
+		}
+	}
+	if len(recs[0].downs) != 3 || len(recs[0].ups) != 3 {
+		t.Errorf("hub transitions = %d down / %d up, want 3/3",
+			len(recs[0].downs), len(recs[0].ups))
+	}
+}

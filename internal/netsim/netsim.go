@@ -170,6 +170,59 @@ func (n *Network) FailNode(at des.Time, v topology.Node) error {
 	return nil
 }
 
+// FailLinks schedules the simultaneous failure of every listed link at
+// virtual time 'at' — a correlated (SRLG-style) failure group: one fiber
+// cut taking down several logical links in a single instant. Links are
+// failed in the given order within one scheduled event, so in-flight loss
+// accounting is deterministic. Already-failed or absent links are skipped.
+func (n *Network) FailLinks(at des.Time, links []topology.Edge) error {
+	group := append([]topology.Edge(nil), links...)
+	if _, err := n.sched.At(at, func() {
+		for _, e := range group {
+			n.failLinkNow(e.A, e.B)
+		}
+	}); err != nil {
+		return fmt.Errorf("netsim: schedule group failure: %w", err)
+	}
+	return nil
+}
+
+// RestoreLinks schedules the simultaneous repair of every listed link at
+// virtual time 'at' — the recovery counterpart of FailLinks.
+func (n *Network) RestoreLinks(at des.Time, links []topology.Edge) error {
+	group := append([]topology.Edge(nil), links...)
+	if _, err := n.sched.At(at, func() {
+		for _, e := range group {
+			n.restoreLinkNow(e.A, e.B)
+		}
+	}); err != nil {
+		return fmt.Errorf("netsim: schedule group restore: %w", err)
+	}
+	return nil
+}
+
+// ResetSession schedules a BGP session reset on link (a, b) at virtual
+// time 'at': the transport session dies (in-flight messages are lost, both
+// endpoints see PeerDown) and immediately re-establishes (both endpoints
+// see PeerUp and exchange full tables), while the physical link stays up.
+// This models a TCP reset / hold-timer expiry rather than a fiber cut.
+// Resetting a failed or absent link is a scheduled no-op.
+func (n *Network) ResetSession(at des.Time, a, b topology.Node) error {
+	if _, err := n.sched.At(at, func() { n.resetSessionNow(a, b) }); err != nil {
+		return fmt.Errorf("netsim: schedule session reset: %w", err)
+	}
+	return nil
+}
+
+func (n *Network) resetSessionNow(a, b topology.Node) {
+	e := topology.NormEdge(a, b)
+	if !n.graph.HasEdge(a, b) || n.down[e] {
+		return
+	}
+	n.failLinkNow(e.A, e.B)
+	n.restoreLinkNow(e.A, e.B)
+}
+
 // RestoreLink schedules the repair of link (a, b) at virtual time 'at':
 // the link carries traffic again and both endpoints receive PeerUp.
 // Restoring a link that is up or absent is a scheduled no-op.

@@ -275,3 +275,74 @@ func TestGraphAccessor(t *testing.T) {
 		t.Error("Graph() did not return the underlying topology")
 	}
 }
+
+func TestFailLinksCorrelated(t *testing.T) {
+	g := topology.Ring(4)
+	sched, net, recs := build(t, g, time.Millisecond)
+	group := []topology.Edge{topology.NormEdge(0, 1), topology.NormEdge(2, 3)}
+	if err := net.FailLinks(time.Second, group); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RestoreLinks(2*time.Second, group); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	for _, v := range g.Nodes() {
+		if len(recs[v].peerDowns) != 1 {
+			t.Errorf("node %d peerDowns = %v, want exactly one", v, recs[v].peerDowns)
+		}
+		if len(recs[v].peerUps) != 1 {
+			t.Errorf("node %d peerUps = %v, want exactly one", v, recs[v].peerUps)
+		}
+	}
+	if err := net.Send(0, 1, "after"); err != nil {
+		t.Errorf("link [0 1] should be restored: %v", err)
+	}
+}
+
+func TestResetSessionBouncesPeers(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, 2*time.Millisecond)
+	// An in-flight message must be destroyed by the reset.
+	if err := net.Send(0, 1, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ResetSession(time.Millisecond, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recs[1].deliveries) != 0 {
+		t.Errorf("deliveries = %v, want none (reset loses in-flight messages)", recs[1].deliveries)
+	}
+	for _, v := range g.Nodes() {
+		if len(recs[v].peerDowns) != 1 || len(recs[v].peerUps) != 1 {
+			t.Errorf("node %d transitions = %d down / %d up, want 1/1",
+				v, len(recs[v].peerDowns), len(recs[v].peerUps))
+		}
+	}
+	// The link itself stays up: a fresh send after the reset succeeds.
+	if err := net.Send(0, 1, "alive"); err != nil {
+		t.Errorf("send after reset: %v", err)
+	}
+	sched.Run()
+	if len(recs[1].deliveries) != 1 {
+		t.Errorf("post-reset deliveries = %d, want 1", len(recs[1].deliveries))
+	}
+}
+
+func TestResetSessionDownLinkIsNoop(t *testing.T) {
+	g := topology.Chain(2)
+	sched, net, recs := build(t, g, time.Millisecond)
+	if err := net.FailLink(time.Millisecond, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ResetSession(2*time.Millisecond, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	// Only the failure's PeerDown: resetting a down link does nothing.
+	if len(recs[0].peerDowns) != 1 || len(recs[0].peerUps) != 0 {
+		t.Errorf("transitions = %d down / %d up, want 1/0",
+			len(recs[0].peerDowns), len(recs[0].peerUps))
+	}
+}
