@@ -1,12 +1,15 @@
 package bgploop
 
 import (
+	"context"
+
 	"bgploop/internal/bgp"
 	"bgploop/internal/core"
 	"bgploop/internal/experiment"
 	"bgploop/internal/faultplan"
 	"bgploop/internal/figures"
 	"bgploop/internal/report"
+	"bgploop/internal/sweep"
 	"bgploop/internal/topology"
 )
 
@@ -49,8 +52,18 @@ type (
 	// TrialFailure reports one failed (or panicked) trial of a sweep,
 	// carrying the replayable Scenario and seed.
 	TrialFailure = experiment.TrialFailure
-	// SweepOptions tunes continue-on-failure trial sweeps.
+	// SweepOptions tunes trial sweeps: failure policy, worker count,
+	// result cache, and checkpoint/resume.
 	SweepOptions = experiment.SweepOptions
+	// SweepStats counts how each trial of a sweep was satisfied
+	// (simulated, cache hit, journal resume, failed, canceled).
+	SweepStats = sweep.Stats
+	// Generator produces the scenario for trial i of a sweep.
+	Generator = experiment.Generator
+	// TrialResult is the raw per-trial outcome backing an Aggregate.
+	TrialResult = experiment.Result
+	// Aggregate summarizes a sweep's per-trial metrics.
+	Aggregate = experiment.Aggregate
 )
 
 // ErrNoQuiescence is in the error chain of every QuiescenceFailure.
@@ -69,6 +82,25 @@ func DefaultConfig() Config { return bgp.DefaultConfig() }
 
 // Run executes a scenario and returns the enriched report.
 func Run(s Scenario) (*Report, error) { return core.Run(s) }
+
+// RunContext is Run with cooperative cancellation: the experiment
+// watchdog polls ctx between kernel event chunks, so Ctrl-C (or a sweep
+// abort) stops an in-flight simulation promptly without affecting the
+// event order of runs that complete.
+func RunContext(ctx context.Context, s Scenario) (*Report, error) {
+	return core.RunContext(ctx, s)
+}
+
+// Repeat derives trial i of a sweep from s by offsetting the seed.
+func Repeat(s Scenario) Generator { return experiment.Repeat(s) }
+
+// RunSweep fans trials across the parallel sweep executor — workers,
+// content-addressed result cache, and checkpoint/resume are set via
+// SweepOptions — and aggregates the per-trial metrics. At every worker
+// width the outcome is byte-identical to the sequential path.
+func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*TrialResult, SweepStats, error) {
+	return experiment.RunSweep(gen, trials, opts)
+}
 
 // CliqueTDown builds the paper's Clique T_down scenario (Figure 3a):
 // destination AS 0 of an n-clique becomes unreachable.

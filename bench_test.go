@@ -9,6 +9,8 @@ package bgploop_test
 // Full paper-scale figures are regenerated with `go run ./cmd/bgpfig`.
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -256,6 +258,33 @@ func BenchmarkReplayThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSweepParallel measures the sweep executor on the paper's
+// headline topology: the same 8-trial Internet(110) T_down sweep at
+// -j 1 (the sequential oracle) and -j GOMAXPROCS. The aggregate is
+// byte-identical at both widths; only the wall clock differs. The j=1/j=N
+// ns/op ratio is the speedup recorded in BENCH_sweep.json (on a 1-core
+// runner the two are expected to tie).
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	gen := experiment.InternetTDown(110, bgp.DefaultConfig(), 1)
+	const trials = 8
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		agg, _, _, err := experiment.RunSweep(gen, trials, experiment.SweepOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = agg.LoopingRatio.Mean
+	}
+	b.ReportMetric(ratio, "looping-ratio")
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	b.Run("j=1", func(b *testing.B) { benchSweep(b, 1) })
+	b.Run(fmt.Sprintf("j=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { benchSweep(b, 0) })
 }
 
 // BenchmarkInternet110TDown is the paper's headline topology.

@@ -7,17 +7,23 @@
 //	bgpfig -fig all                # every figure
 //	bgpfig -fig 8a,8b -quick       # reduced grid, seconds per figure
 //	bgpfig -fig 5a -csv -out fig5a.csv
+//	bgpfig -fig all -j 8 -cache-dir ~/.cache/bgploop -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"bgploop/internal/experiment"
 	"bgploop/internal/figures"
+	"bgploop/internal/sweep"
 )
 
 func main() {
@@ -30,14 +36,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bgpfig", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "", "figure ID (4a..9d), comma-separated list, or 'all'")
-		quick = fs.Bool("quick", false, "use the reduced smoke-test grid instead of paper scale")
-		csv   = fs.Bool("csv", false, "emit CSV")
-		out   = fs.String("out", "", "write to file instead of stdout")
-		seed  = fs.Int64("seed", 0, "override the base seed (0 keeps the default)")
+		fig    = fs.String("fig", "", "figure ID (4a..9d), comma-separated list, or 'all'")
+		quick  = fs.Bool("quick", false, "use the reduced smoke-test grid instead of paper scale")
+		csv    = fs.Bool("csv", false, "emit CSV")
+		out    = fs.String("out", "", "write to file instead of stdout")
+		seed   = fs.Int64("seed", 0, "override the base seed (0 keeps the default)")
+		j      = fs.Int("j", 0, "trial parallelism per sweep: 0 = GOMAXPROCS, 1 = sequential (figures are byte-identical at any width)")
+		cache  = fs.String("cache-dir", "", "content-addressed result cache; unchanged trials are served from disk across runs")
+		resume = fs.Bool("resume", false, "resume interrupted sweeps from their checkpoint journals (requires -cache-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *cache == "" {
+		return fmt.Errorf("-resume requires -cache-dir")
 	}
 	if *fig == "" {
 		return fmt.Errorf("missing -fig; known: %s, extensions: %s, or 'all'/'ext'",
@@ -62,6 +74,19 @@ func run(args []string) error {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+
+	// Ctrl-C cancels in-flight trials cooperatively; with -cache-dir and
+	// -resume the next invocation picks up where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var stats sweep.Stats
+	sc.Sweep = experiment.SweepOptions{
+		Workers:  *j,
+		CacheDir: *cache,
+		Resume:   *resume,
+		Context:  ctx,
+		Stats:    &stats,
 	}
 
 	var w io.Writer = os.Stdout
@@ -101,5 +126,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "bgpfig: figure %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(os.Stderr, "bgpfig: %d trials total: %d simulated, %d cache hits, %d resumed\n",
+		stats.Trials, stats.Executed, stats.CacheHits, stats.Resumed)
 	return nil
 }

@@ -1,6 +1,7 @@
 // Command bgpsim runs a single BGP loop-study scenario and prints the
 // paper's metrics, the exact transient-loop intervals, and optionally an
-// update trace.
+// update trace. With -trials it runs a seed sweep on the parallel
+// executor and prints the aggregate instead.
 //
 // Examples:
 //
@@ -8,17 +9,25 @@
 //	bgpsim -topo bclique -size 15 -event tlong -mrai 60s
 //	bgpsim -topo internet -size 110 -event tdown -seed 7 -loops
 //	bgpsim -topo figure1 -event tlong -enhance ssld
+//	bgpsim -topo internet -size 110 -event tdown -trials 50 -j 8 -cache-dir ~/.cache/bgploop
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/core"
 	"bgploop/internal/experiment"
+	"bgploop/internal/metrics"
+	"bgploop/internal/report"
+	"bgploop/internal/sweep"
 	"bgploop/internal/topology"
 	"bgploop/internal/wire"
 )
@@ -49,10 +58,19 @@ func run(args []string) error {
 		mrtDump   = fs.String("mrt", "", "write the update trace as MRT BGP4MP_MESSAGE records (RFC 6396) to this file")
 		compare   = fs.Bool("compare", false, "run all five protocol variants side by side")
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		trials    = fs.Int("trials", 1, "run a sweep of N trials (seeds seed, seed+1, ...) and print the aggregate")
+		workers   = fs.Int("j", 0, "sweep parallelism: 0 = GOMAXPROCS, 1 = the sequential path (output is byte-identical at any width)")
+		cacheDir  = fs.String("cache-dir", "", "content-addressed result cache; unchanged trials are served from disk instead of re-simulated")
+		resume    = fs.Bool("resume", false, "resume an interrupted sweep from its checkpoint journal (requires -cache-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Ctrl-C cancels in-flight simulations cooperatively: the experiment
+	// watchdog polls the context between kernel event chunks.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var (
 		scenario experiment.Scenario
@@ -80,6 +98,16 @@ func run(args []string) error {
 		scenario.TraceLimit = 1 << 20
 	}
 
+	if *trials > 1 || *cacheDir != "" || *resume {
+		if *compare || *showTrace > 0 || *wireDump != "" || *mrtDump != "" || *showLoops {
+			return fmt.Errorf("-trials/-cache-dir/-resume run a sweep; -compare/-trace/-wiredump/-mrt/-loops apply to single runs only")
+		}
+		if *resume && *cacheDir == "" {
+			return fmt.Errorf("-resume needs -cache-dir (or set an explicit journal via the library API)")
+		}
+		return runSweep(ctx, scenario, *trials, *workers, *cacheDir, *resume, *csv, *jsonOut)
+	}
+
 	if *compare {
 		variants, names := core.DefaultVariants()
 		tbl, err := core.CompareEnhancements(scenario, variants, names)
@@ -92,7 +120,7 @@ func run(args []string) error {
 		return tbl.WriteText(os.Stdout)
 	}
 
-	rep, err := core.Run(scenario)
+	rep, err := core.RunContext(ctx, scenario)
 	if err != nil {
 		return err
 	}
@@ -174,6 +202,54 @@ func run(args []string) error {
 			printed++
 		}
 	}
+	return nil
+}
+
+// runSweep fans trials of the scenario (seeds seed, seed+1, ...) across
+// the parallel executor and prints the aggregate. The output is
+// byte-identical at every -j width.
+func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, cacheDir string, resume bool, csv, jsonOut bool) error {
+	agg, _, stats, err := experiment.RunSweep(experiment.Repeat(s), trials, experiment.SweepOptions{
+		Workers:  workers,
+		CacheDir: cacheDir,
+		Resume:   resume,
+		Context:  ctx,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Aggregate experiment.Aggregate
+			Stats     sweep.Stats
+		}{agg, stats})
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("sweep aggregate (%d trials, seeds %d..%d)", agg.Trials, s.Seed, s.Seed+int64(trials)-1),
+		Columns: []string{"metric", "mean", "std", "min", "max"},
+	}
+	add := func(name string, m metrics.Sample) {
+		tbl.AddFloats(name, m.Mean, m.Std, m.Min, m.Max)
+	}
+	add("convergence_s", agg.ConvergenceSec)
+	add("looping_duration_s", agg.LoopingDurationSec)
+	add("ttl_exhaustions", agg.TTLExhaustions)
+	add("looping_ratio", agg.LoopingRatio)
+	add("packets_sent", agg.PacketsSent)
+	add("updates_sent", agg.UpdatesSent)
+	add("loop_count", agg.LoopCount)
+	add("max_loop_size", agg.MaxLoopSize)
+	if csv {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bgpsim: %d trials: %d simulated, %d cache hits, %d resumed\n",
+		stats.Trials, stats.Executed, stats.CacheHits, stats.Resumed)
 	return nil
 }
 

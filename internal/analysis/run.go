@@ -24,7 +24,23 @@ var (
 		"internal/metrics", "internal/figures", "internal/loopanalysis",
 		"internal/report", "internal/core",
 	}
+	// harnessPackages orchestrate whole trials around the kernel — the
+	// repository's concurrency boundary. They must stay deterministic
+	// (no wall clock, no global rand, no map-order dependence, no float
+	// equality) but are the one simulation-adjacent scope allowed to use
+	// goroutines: each trial below them is still a single-threaded DES
+	// run, and the executor merges results by trial index.
+	harnessPackages = []string{"internal/sweep"}
 )
+
+// union concatenates package scopes for analyzers that span several.
+func union(sets ...[]string) []string {
+	var out []string
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	return out
+}
 
 func inPackages(paths ...string) func(relPath string) bool {
 	return func(relPath string) bool {

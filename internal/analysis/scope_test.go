@@ -1,0 +1,38 @@
+package analysis
+
+import "testing"
+
+// TestNoConcurrencyScopeCoversKernel pins the single-threaded-kernel
+// contract: the DES kernel packages must stay inside the noconcurrency
+// scope, and internal/sweep — the deliberate concurrency boundary — must
+// stay outside it. Removing a kernel package from the scope would let
+// goroutines creep into the event loop unnoticed.
+func TestNoConcurrencyScopeCoversKernel(t *testing.T) {
+	noconc := NoConcurrencyAnalyzer()
+	for _, p := range []string{
+		"internal/des", "internal/bgp", "internal/netsim", "internal/faultplan",
+	} {
+		if !noconc.Match(p) {
+			t.Errorf("noconcurrency no longer covers %s; the kernel must stay single-threaded", p)
+		}
+	}
+	if noconc.Match("internal/sweep") {
+		t.Error("noconcurrency covers internal/sweep; the harness scope must stay exempt (it is the concurrency boundary)")
+	}
+}
+
+// TestHarnessScopeDeterminismAnalyzers asserts internal/sweep is held to
+// the rest of the determinism contract: no wall clock, no global rand, no
+// map-order dependence, no exact float comparison.
+func TestHarnessScopeDeterminismAnalyzers(t *testing.T) {
+	for _, a := range []*Analyzer{
+		NoRealTimeAnalyzer(), MapRangeAnalyzer(), FloatEqAnalyzer(),
+	} {
+		if !a.Match("internal/sweep") {
+			t.Errorf("%s does not cover internal/sweep", a.Name)
+		}
+	}
+	if a := NoGlobalRandAnalyzer(); a.Match != nil && !a.Match("internal/sweep") {
+		t.Errorf("%s does not cover internal/sweep", a.Name)
+	}
+}

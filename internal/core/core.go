@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,7 +43,14 @@ const boundSlackPerHop = 2 * time.Second
 
 // Run executes the scenario and enriches the raw result.
 func Run(s experiment.Scenario) (*Report, error) {
-	res, err := experiment.Run(s)
+	return RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cooperative cancellation (see
+// experiment.RunContext): ctx stops the simulation between kernel event
+// chunks, so Ctrl-C in cmd/bgpsim aborts an in-flight run promptly.
+func RunContext(ctx context.Context, s experiment.Scenario) (*Report, error) {
+	res, err := experiment.RunContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -177,6 +178,26 @@ type phaseExec struct {
 // phase. Measured phases get the packet workload replayed over their
 // convergence window and their exact transient-loop intervals extracted.
 func Run(s Scenario) (*Result, error) {
+	return RunContext(context.Background(), s)
+}
+
+// quiescenceChunk bounds how many events the kernel executes between
+// cancellation polls. The chunking changes nothing about the simulation —
+// RunLimitUntil executes events strictly in order, so splitting the
+// budget into chunks yields the identical event sequence — it only bounds
+// how long a canceled run keeps computing.
+const quiescenceChunk = 50_000
+
+// RunContext is Run with cooperative cancellation: the watchdog polls ctx
+// between bounded event chunks, so an aborted sweep (fail-fast failure
+// elsewhere, failure-ratio doom, Ctrl-C) stops an in-flight trial in
+// bounded time. The DES kernel itself stays single-threaded and knows
+// nothing about contexts; cancellation lives entirely in this harness
+// layer. The returned error wraps ctx.Err() when the run was interrupted.
+func RunContext(ctx context.Context, s Scenario) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -236,8 +257,26 @@ func Run(s Scenario) (*Result, error) {
 		if s.PhaseEventBudget > 0 && s.PhaseEventBudget < limit {
 			limit = s.PhaseEventBudget
 		}
-		used, hitHorizon := sched.RunLimitUntil(limit, horizon)
-		budget -= used
+		var (
+			used       uint64
+			hitHorizon bool
+		)
+		for used < limit && !hitHorizon {
+			if err := ctx.Err(); err != nil {
+				return used, fmt.Errorf("experiment: run canceled during %s: %w", phaseName, err)
+			}
+			chunk := limit - used
+			if chunk > quiescenceChunk {
+				chunk = quiescenceChunk
+			}
+			var n uint64
+			n, hitHorizon = sched.RunLimitUntil(chunk, horizon)
+			used += n
+			budget -= n
+			if n < chunk {
+				break // queue drained before the chunk ran out
+			}
+		}
 		pending, _, _ := sched.PendingCensus()
 		if (used >= limit && pending > 0) || hitHorizon {
 			return used, diagnoseQuiescenceFailure(phaseName, sched, probe, limit, used, hitHorizon)

@@ -1,14 +1,19 @@
 package experiment
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime/debug"
 	"time"
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/des"
 	"bgploop/internal/metrics"
+	"bgploop/internal/sweep"
 	"bgploop/internal/topology"
 )
 
@@ -45,7 +50,8 @@ func (f *TrialFailure) Error() string {
 // Unwrap exposes the underlying error to errors.Is/As.
 func (f *TrialFailure) Unwrap() error { return f.Err }
 
-// SweepOptions tunes the graceful-degradation behaviour of a trial sweep.
+// SweepOptions tunes the graceful-degradation behaviour of a trial sweep
+// and the executor underneath it.
 type SweepOptions struct {
 	// ContinueOnFailure keeps the sweep running past failed trials,
 	// collecting TrialFailure reports and aggregating the survivors.
@@ -55,8 +61,37 @@ type SweepOptions struct {
 	// MaxFailureRatio is the failed/attempted ratio above which a
 	// continue-on-failure sweep is reported as an error anyway (the
 	// surviving sample is no longer representative). Zero means the
-	// default of 0.5.
+	// default of 0.5. The executor aborts in-flight trials as soon as the
+	// failure count alone guarantees a breach.
 	MaxFailureRatio float64
+	// Workers is the trial-level parallelism: 0 means GOMAXPROCS, 1 runs
+	// the trials inline in the calling goroutine (the sequential path,
+	// and the regression oracle every other width must match byte for
+	// byte). The DES kernel stays single-threaded either way; only whole
+	// independent trials run concurrently.
+	Workers int
+	// CacheDir, when non-empty, enables the content-addressed result
+	// cache rooted there: trials whose Scenario.CacheKey matches a stored
+	// object are served from disk instead of re-simulated.
+	CacheDir string
+	// JournalPath, when non-empty, checkpoints every completed trial to
+	// that file. With Resume the journal's existing entries are replayed
+	// first (content addresses must still match), so an interrupted sweep
+	// restarts from where it stopped.
+	JournalPath string
+	// Resume replays the checkpoint journal before executing anything.
+	// With an empty JournalPath it derives the journal location from the
+	// sweep's identity under CacheDir (which is then required).
+	Resume bool
+	// Context, when non-nil, cancels in-flight trials cooperatively
+	// (Ctrl-C in cmd/bgpsim); nil means context.Background().
+	Context context.Context
+	// Progress, when non-nil, observes every trial reaching a terminal
+	// state, in completion order.
+	Progress func(trial int, st sweep.Status, src sweep.Source)
+	// Stats, when non-nil, accumulates executor statistics (executed vs
+	// cached vs resumed counts) across sweeps.
+	Stats *sweep.Stats
 }
 
 // DefaultMaxFailureRatio is the failure-rate threshold applied when
@@ -107,18 +142,116 @@ func RunTrials(gen Generator, trials int) (Aggregate, []*Result, error) {
 // long parameter sweep. Failed trials are reported in Aggregate.Failures;
 // the metric samples aggregate the surviving trials only. Partial results
 // are returned even when an error is.
+//
+// The trials run on the internal/sweep executor: Workers > 1 fans them
+// across a goroutine pool with byte-identical output to the sequential
+// path, and CacheDir/JournalPath/Resume enable the content-addressed
+// cache and checkpoint/resume layers.
 func RunTrialsOpts(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Result, error) {
+	agg, results, _, err := RunSweep(gen, trials, opts)
+	return agg, results, err
+}
+
+// RunSweep is RunTrialsOpts with the executor statistics exposed: how many
+// trials were simulated versus served from the cache or the resume
+// journal. The aggregate itself never includes the statistics, so cached
+// and uncached runs of the same sweep digest identically.
+func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Result, sweep.Stats, error) {
 	if trials <= 0 {
-		return Aggregate{}, nil, fmt.Errorf("experiment: non-positive trial count %d", trials)
+		return Aggregate{}, nil, sweep.Stats{}, fmt.Errorf("experiment: non-positive trial count %d", trials)
 	}
 	maxRatio := opts.MaxFailureRatio
 	if maxRatio == 0 {
 		maxRatio = DefaultMaxFailureRatio
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var cache *sweep.Cache
+	if opts.CacheDir != "" {
+		var err error
+		if cache, err = sweep.OpenCache(opts.CacheDir); err != nil {
+			return Aggregate{}, nil, sweep.Stats{}, err
+		}
+	}
+
+	// Content addresses are computed up front (once per trial) when any
+	// persistence layer is on; a trial whose scenario is uncacheable gets
+	// the empty key and always executes.
+	var codec sweep.Codec[*Result]
+	var keys []string
+	if cache != nil || opts.JournalPath != "" || opts.Resume {
+		keys = make([]string, trials)
+		for i := range keys {
+			keys[i] = trialKey(gen, i)
+		}
+		codec = sweep.Codec[*Result]{
+			Key:    func(i int) string { return keys[i] },
+			Encode: EncodeResult,
+			Decode: DecodeResult,
+		}
+	}
+
+	journalPath := opts.JournalPath
+	if journalPath == "" && opts.Resume {
+		if cache == nil {
+			return Aggregate{}, nil, sweep.Stats{}, errors.New("experiment: Resume needs a JournalPath or a CacheDir to derive one")
+		}
+		dir, err := cache.JournalDir()
+		if err != nil {
+			return Aggregate{}, nil, sweep.Stats{}, err
+		}
+		journalPath = filepath.Join(dir, sweepID(trials, keys)+".jsonl")
+	}
+	var journal *sweep.Journal
+	if journalPath != "" {
+		var err error
+		if journal, err = sweep.OpenJournal(journalPath, opts.Resume); err != nil {
+			return Aggregate{}, nil, sweep.Stats{}, err
+		}
+		defer func() { _ = journal.Close() }()
+	}
+
+	task := func(tctx context.Context, i int) (*Result, error) {
+		res, fail := runOneTrial(tctx, gen, i)
+		if fail != nil {
+			return nil, fail
+		}
+		return res, nil
+	}
+	swOpts := sweep.Options[*Result]{
+		Workers:  opts.Workers,
+		FailFast: !opts.ContinueOnFailure,
+		Codec:    codec,
+		Cache:    cache,
+		Journal:  journal,
+		Progress: opts.Progress,
+	}
+	if opts.ContinueOnFailure {
+		swOpts.MaxFailureRatio = maxRatio
+	}
+	out, err := sweep.Run(ctx, trials, task, swOpts)
+	if err != nil {
+		return Aggregate{}, nil, sweep.Stats{}, err
+	}
+	if opts.Stats != nil {
+		opts.Stats.Add(out.Stats)
+	}
+	agg, results, aerr := tallyOutcome(out, opts, maxRatio, ctx)
+	return agg, results, out.Stats, aerr
+}
+
+// tallyOutcome converts the executor's trial-ordered outcome into the
+// historical Aggregate/results/error shape. All policy is defined over
+// trial indices, so the tally is independent of completion order.
+func tallyOutcome(out *sweep.Outcome[*Result], opts SweepOptions, maxRatio float64, ctx context.Context) (Aggregate, []*Result, error) {
 	var (
 		results   []*Result
 		failures  []*TrialFailure
 		attempted int
+		canceled  int
 		conv      []float64
 		loopDur   []float64
 		exhaust   []float64
@@ -128,16 +261,35 @@ func RunTrialsOpts(gen Generator, trials int, opts SweepOptions) (Aggregate, []*
 		loopCnt   []float64
 		maxLoopN  []float64
 	)
-	for i := 0; i < trials; i++ {
-		attempted++
-		res, fail := runOneTrial(gen, i)
-		if fail != nil {
-			failures = append(failures, fail)
-			if !opts.ContinueOnFailure {
-				break
+	firstFail := out.FirstFailure()
+	limit := len(out.Status)
+	if !opts.ContinueOnFailure && firstFail >= 0 {
+		// Sequential fail-fast semantics: the sweep counts as having run
+		// trials 0..firstFail and salvages the results below the failure;
+		// whatever completed above it (out-of-order parallel finishes) is
+		// discarded so the output matches the sequential oracle.
+		limit = firstFail
+		attempted = firstFail + 1
+		failures = append(failures, asTrialFailure(out.Errs[firstFail], firstFail))
+	} else {
+		for i, st := range out.Status {
+			switch st {
+			case sweep.StatusDone, sweep.StatusFailed:
+				attempted++
+			case sweep.StatusCanceled:
+				attempted++
+				canceled++
 			}
+			if st == sweep.StatusFailed {
+				failures = append(failures, asTrialFailure(out.Errs[i], i))
+			}
+		}
+	}
+	for i := 0; i < limit; i++ {
+		if !out.Done(i) {
 			continue
 		}
+		res := out.Results[i]
 		results = append(results, res)
 		conv = append(conv, res.ConvergenceTime.Seconds())
 		loopDur = append(loopDur, res.LoopingDuration.Seconds())
@@ -162,21 +314,67 @@ func RunTrialsOpts(gen Generator, trials int, opts SweepOptions) (Aggregate, []*
 		MaxLoopSize:        metrics.NewSample(maxLoopN),
 	}
 	switch {
-	case len(failures) == 0:
-		return agg, results, nil
-	case !opts.ContinueOnFailure:
+	case !opts.ContinueOnFailure && firstFail >= 0:
 		return agg, results, failures[0]
-	case float64(len(failures))/float64(attempted) > maxRatio:
+	case len(failures) > 0 && float64(len(failures))/float64(attempted) > maxRatio:
 		return agg, results, fmt.Errorf("experiment: %d of %d trials failed, above the %.2f failure-ratio threshold: %w",
 			len(failures), attempted, maxRatio, failures[0])
+	case ctx.Err() != nil || canceled > 0:
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return agg, results, fmt.Errorf("experiment: sweep interrupted with %d of %d trials complete: %w",
+			agg.Trials, len(out.Status), cause)
 	default:
 		return agg, results, nil
 	}
 }
 
+// asTrialFailure normalizes a task error into the structured report.
+func asTrialFailure(err error, trial int) *TrialFailure {
+	var tf *TrialFailure
+	if errors.As(err, &tf) {
+		return tf
+	}
+	return &TrialFailure{Trial: trial, Err: err}
+}
+
+// trialKey computes trial i's content address for the persistence layers,
+// absorbing generator errors and panics — such a trial gets the empty
+// (uncacheable) key and reports its failure when it actually runs.
+func trialKey(gen Generator, i int) (key string) {
+	defer func() {
+		if recover() != nil {
+			key = ""
+		}
+	}()
+	s, err := gen(i)
+	if err != nil {
+		return ""
+	}
+	return s.CacheKey()
+}
+
+// sweepID names a sweep for the auto-derived resume journal: a digest of
+// the trial count and every trial's content address, so distinct sweeps
+// sharing a cache directory get distinct journals and re-running the same
+// sweep finds its own checkpoint.
+func sweepID(trials int, keys []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep-journal/v1/%d", trials)
+	for _, k := range keys {
+		fmt.Fprintf(h, "\n%s", k)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // runOneTrial generates and runs trial i, converting any error or panic
-// into a structured TrialFailure.
-func runOneTrial(gen Generator, trial int) (res *Result, fail *TrialFailure) {
+// into a structured TrialFailure. The context cancels the run between
+// kernel event chunks (see RunContext); a cancellation surfaces as a
+// TrialFailure wrapping ctx's error, which the executor classifies as
+// canceled rather than failed.
+func runOneTrial(ctx context.Context, gen Generator, trial int) (res *Result, fail *TrialFailure) {
 	var (
 		s            Scenario
 		haveScenario bool
@@ -197,13 +395,16 @@ func runOneTrial(gen Generator, trial int) (res *Result, fail *TrialFailure) {
 			res = nil
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		return nil, &TrialFailure{Trial: trial, Err: err}
+	}
 	var err error
 	s, err = gen(trial)
 	if err != nil {
 		return nil, &TrialFailure{Trial: trial, Err: err}
 	}
 	haveScenario = true
-	res, err = Run(s)
+	res, err = RunContext(ctx, s)
 	if err != nil {
 		return nil, &TrialFailure{Trial: trial, Scenario: s, Seed: s.Seed, Err: err}
 	}

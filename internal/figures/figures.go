@@ -59,6 +59,12 @@ type Scale struct {
 	// BGP is the base protocol configuration (enhancements are overridden
 	// by the Figure 8/9 sweeps).
 	BGP bgp.Config
+	// Sweep configures the trial executor behind every figure sweep:
+	// Workers fans trials across goroutines (byte-identical output to the
+	// sequential path), CacheDir serves unchanged trials from the
+	// content-addressed cache, and a Stats pointer accumulates executor
+	// counters across all of the figure's sweeps.
+	Sweep experiment.SweepOptions
 }
 
 // FullScale returns the paper-fidelity sweep ranges.
@@ -218,22 +224,22 @@ func (sc Scale) withDefaults() Scale {
 // --- sweep primitives -------------------------------------------------
 
 func (sc Scale) cliqueTDown(n int, cfg bgp.Config) (experiment.Aggregate, error) {
-	agg, _, err := experiment.RunTrials(experiment.Repeat(experiment.CliqueTDown(n, cfg, sc.Seed)), sc.Trials)
+	agg, _, err := experiment.RunTrialsOpts(experiment.Repeat(experiment.CliqueTDown(n, cfg, sc.Seed)), sc.Trials, sc.Sweep)
 	return agg, err
 }
 
 func (sc Scale) bcliqueTLong(n int, cfg bgp.Config) (experiment.Aggregate, error) {
-	agg, _, err := experiment.RunTrials(experiment.Repeat(experiment.BCliqueTLong(n, cfg, sc.Seed)), sc.Trials)
+	agg, _, err := experiment.RunTrialsOpts(experiment.Repeat(experiment.BCliqueTLong(n, cfg, sc.Seed)), sc.Trials, sc.Sweep)
 	return agg, err
 }
 
 func (sc Scale) internetTDown(n int, cfg bgp.Config) (experiment.Aggregate, error) {
-	agg, _, err := experiment.RunTrials(experiment.InternetTDown(n, cfg, sc.Seed), sc.InternetTrials)
+	agg, _, err := experiment.RunTrialsOpts(experiment.InternetTDown(n, cfg, sc.Seed), sc.InternetTrials, sc.Sweep)
 	return agg, err
 }
 
 func (sc Scale) internetTLong(n int, cfg bgp.Config) (experiment.Aggregate, error) {
-	agg, _, err := experiment.RunTrials(experiment.InternetTLong(n, cfg, sc.Seed), sc.InternetTrials)
+	agg, _, err := experiment.RunTrialsOpts(experiment.InternetTLong(n, cfg, sc.Seed), sc.InternetTrials, sc.Sweep)
 	return agg, err
 }
 

@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-addressed result store on disk. Objects are keyed
+// by a canonical hex digest of everything that determines a trial's
+// outcome (scenario spec, seed, enhancements, code-relevant config — see
+// experiment.Scenario.CacheKey), so a key collision means the results
+// are interchangeable by construction and a config change simply misses.
+//
+// Layout: <dir>/objects/<key[:2]>/<key>, one encoded result per file.
+// Writes go through a temp file + rename, so a killed sweep never leaves
+// a torn object behind.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// JournalDir returns the directory where auto-derived resume journals
+// live, creating it if needed.
+func (c *Cache) JournalDir() (string, error) {
+	dir := filepath.Join(c.dir, "journals")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("sweep: journal dir: %w", err)
+	}
+	return dir, nil
+}
+
+// path maps a key to its object file.
+func (c *Cache) path(key string) (string, error) {
+	if len(key) < 3 || !isHex(key) {
+		return "", fmt.Errorf("sweep: malformed cache key %q", key)
+	}
+	return filepath.Join(c.dir, "objects", key[:2], key), nil
+}
+
+// Get returns the object stored under key, with ok=false on a miss.
+func (c *Cache) Get(key string) (data []byte, ok bool, err error) {
+	p, err := c.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err = os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// Put stores data under key, atomically replacing any existing object.
+func (c *Cache) Put(key string, data []byte) error {
+	p, err := c.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// isHex reports whether s is lowercase hexadecimal.
+func isHex(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// journalVersion is bumped when the entry schema changes; entries with a
+// different version are ignored on load.
+const journalVersion = 1
+
+// journalEntry is one completed trial, one JSON object per line.
+type journalEntry struct {
+	V     int `json:"v"`
+	Trial int `json:"trial"`
+	// Key is the trial's content address at the time it completed; an
+	// entry is replayed only when the address still matches, so a changed
+	// scenario spec invalidates the checkpoint per trial.
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Journal is an append-only checkpoint of completed sweep trials. Every
+// finished trial is written as one JSON line and flushed, so a sweep
+// killed mid-flight loses at most the line being written — the loader
+// tolerates a torn final line — and a restarted sweep resumes from the
+// completed set instead of re-simulating it.
+type Journal struct {
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	entries map[int]journalEntry
+}
+
+// OpenJournal opens the checkpoint file at path. With resume=true any
+// existing entries are loaded for replay; otherwise the file is
+// truncated and the sweep checkpoints from scratch.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	if path == "" {
+		return nil, errors.New("sweep: empty journal path")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	j := &Journal{path: path, entries: map[int]journalEntry{}}
+	if resume {
+		if err := j.load(); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// load reads existing entries, ignoring unparseable lines (a torn write
+// from a killed sweep must not poison the resume).
+func (j *Journal) load() error {
+	f, err := os.Open(j.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: load journal: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // torn or foreign line
+		}
+		if e.V != journalVersion || e.Key == "" || e.Data == nil {
+			continue
+		}
+		j.entries[e.Trial] = e
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("sweep: load journal: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of loaded (resumable) entries.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Lookup returns the journaled result of trial i if one was loaded and
+// its content address still matches key.
+func (j *Journal) Lookup(trial int, key string) ([]byte, bool) {
+	e, ok := j.entries[trial]
+	if !ok || e.Key != key {
+		return nil, false
+	}
+	return e.Data, true
+}
+
+// Append checkpoints one completed trial and flushes it to the OS, so a
+// subsequent kill cannot lose it. Append must only be called from one
+// goroutine (the executor's merging loop).
+func (j *Journal) Append(trial int, key string, data []byte) error {
+	if _, ok := j.entries[trial]; ok {
+		return nil // already checkpointed (e.g. replayed entry)
+	}
+	e := journalEntry{V: journalVersion, Trial: trial, Key: key, Data: json.RawMessage(data)}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	j.entries[trial] = e
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	j.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
