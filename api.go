@@ -8,6 +8,7 @@ import (
 	"bgploop/internal/experiment"
 	"bgploop/internal/faultplan"
 	"bgploop/internal/figures"
+	"bgploop/internal/invariant"
 	"bgploop/internal/report"
 	"bgploop/internal/sweep"
 	"bgploop/internal/topology"
@@ -64,6 +65,38 @@ type (
 	TrialResult = experiment.Result
 	// Aggregate summarizes a sweep's per-trial metrics.
 	Aggregate = experiment.Aggregate
+	// GuardConfig selects the runtime invariant-guard cadence and the
+	// forensic parameters of a run (Scenario.Guard). Guards are
+	// observation-only: enabling them never changes a run's results.
+	GuardConfig = invariant.Config
+	// GuardCadence is the sweep-check schedule of the guard engine.
+	GuardCadence = invariant.Cadence
+	// Violation is one detected invariant breach with its bounded event
+	// trail.
+	Violation = invariant.Violation
+	// ViolationError is the error a guarded run returns on a breach.
+	ViolationError = invariant.ViolationError
+	// ForensicBundle is the serialized record of one failed trial —
+	// scenario spec, failure signature, event trail, RIB digests —
+	// written under the sweep cache and consumed by bgpsim -shrink.
+	ForensicBundle = invariant.Bundle
+	// ShrinkStats reports the work a scenario shrink performed.
+	ShrinkStats = invariant.ShrinkStats
+	// ScenarioSpec is the JSON scenario-file schema (bgpsim -scenario),
+	// also the replayable form embedded in forensic bundles.
+	ScenarioSpec = experiment.ScenarioSpec
+)
+
+// Guard cadences for GuardConfig.Cadence.
+const (
+	// GuardOff disables the guards (the default).
+	GuardOff = invariant.CadenceOff
+	// GuardPhase checks sweep invariants at phase boundaries only.
+	GuardPhase = invariant.CadencePhase
+	// GuardEveryN checks sweep invariants every GuardConfig.EveryN events.
+	GuardEveryN = invariant.CadenceEveryN
+	// GuardFull checks sweep invariants after every kernel event.
+	GuardFull = invariant.CadenceFull
 )
 
 // ErrNoQuiescence is in the error chain of every QuiescenceFailure.
@@ -133,6 +166,19 @@ func InternetLike(n int, seed int64) (*Graph, error) {
 func CompareEnhancements(base Scenario) (*Table, error) {
 	variants, names := core.DefaultVariants()
 	return core.CompareEnhancements(base, variants, names)
+}
+
+// ReadForensicBundle loads a forensic bundle written by a guarded sweep
+// (see SweepOptions.CacheDir; bundles land under <cache>/forensics/).
+func ReadForensicBundle(path string) (*ForensicBundle, error) {
+	return invariant.ReadBundle(path)
+}
+
+// ShrinkFailure delta-debugs a forensic bundle's scenario to a minimal
+// reproducer preserving the failure signature. maxRuns caps the candidate
+// trials (a library default when <= 0).
+func ShrinkFailure(b *ForensicBundle, maxRuns int) (ScenarioSpec, ShrinkStats, error) {
+	return experiment.ShrinkFailure(b, maxRuns)
 }
 
 // FigureIDs lists the regenerable figures ("4a" ... "9d").

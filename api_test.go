@@ -1,6 +1,7 @@
 package bgploop_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -106,5 +107,40 @@ func TestCustomMRAI(t *testing.T) {
 	if rep.ConvergenceTime >= rep30.ConvergenceTime {
 		t.Errorf("MRAI 5s convergence %v not faster than 30s %v",
 			rep.ConvergenceTime, rep30.ConvergenceTime)
+	}
+}
+
+func TestGuardedRunAndShrinkAPI(t *testing.T) {
+	// Guards are observation-only: a guarded run succeeds with identical
+	// metrics (asserted in depth by internal/experiment's parity test).
+	s := bgploop.CliqueTDown(5, bgploop.DefaultConfig(), 4)
+	s.Guard = bgploop.GuardConfig{Cadence: bgploop.GuardFull}
+	if _, err := bgploop.Run(s); err != nil {
+		t.Fatalf("guarded run: %v", err)
+	}
+
+	// The corrupted-FIB self-test hook yields a violation; its forensic
+	// bundle shrinks to a minimal reproducer through the public API.
+	n := 2
+	s.Guard.CorruptFIBNode = &n
+	dir := t.TempDir()
+	_, _, _, err := bgploop.RunSweep(bgploop.Repeat(s), 1, bgploop.SweepOptions{CacheDir: dir})
+	if err == nil {
+		t.Fatal("corrupted-FIB sweep succeeded")
+	}
+	var tf *bgploop.TrialFailure
+	if !errors.As(err, &tf) || tf.ForensicPath == "" {
+		t.Fatalf("no persisted forensic bundle in %v", err)
+	}
+	b, err := bgploop.ReadForensicBundle(tf.ForensicPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, stats, err := bgploop.ShrinkFailure(b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Topology.Size > 4 || stats.Runs == 0 {
+		t.Errorf("shrunk to %d nodes in %d runs", spec.Topology.Size, stats.Runs)
 	}
 }

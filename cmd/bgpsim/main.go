@@ -10,6 +10,8 @@
 //	bgpsim -topo internet -size 110 -event tdown -seed 7 -loops
 //	bgpsim -topo figure1 -event tlong -enhance ssld
 //	bgpsim -topo internet -size 110 -event tdown -trials 50 -j 8 -cache-dir ~/.cache/bgploop
+//	bgpsim -topo clique -size 15 -event tdown -guard full
+//	bgpsim -shrink ~/.cache/bgploop/forensics/bundle-0123456789abcdef.json
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"bgploop/internal/bgp"
 	"bgploop/internal/core"
 	"bgploop/internal/experiment"
+	"bgploop/internal/invariant"
 	"bgploop/internal/metrics"
 	"bgploop/internal/report"
 	"bgploop/internal/sweep"
@@ -62,9 +65,17 @@ func run(args []string) error {
 		workers   = fs.Int("j", 0, "sweep parallelism: 0 = GOMAXPROCS, 1 = the sequential path (output is byte-identical at any width)")
 		cacheDir  = fs.String("cache-dir", "", "content-addressed result cache; unchanged trials are served from disk instead of re-simulated")
 		resume    = fs.Bool("resume", false, "resume an interrupted sweep from its checkpoint journal (requires -cache-dir)")
+		guardF    = fs.String("guard", "", "runtime invariant guard cadence: off, phase, every-n, full (default: $BGPSIM_GUARD, else off)")
+		shrinkF   = fs.String("shrink", "", "shrink a forensic bundle file to a minimal reproducing scenario spec and exit")
+		shrinkOut = fs.String("shrink-out", "", "write the shrunk scenario spec to this file instead of stdout")
+		shrinkN   = fs.Int("shrink-runs", 0, "cap on candidate trials executed by -shrink (0 = library default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *shrinkF != "" {
+		return runShrink(*shrinkF, *shrinkOut, *shrinkN)
 	}
 
 	// Ctrl-C cancels in-flight simulations cooperatively: the experiment
@@ -83,6 +94,13 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *guardF != "" {
+		cad, err := invariant.ParseCadence(*guardF)
+		if err != nil {
+			return err
+		}
+		scenario.Guard.Cadence = cad
 	}
 	if *horizon > 0 {
 		scenario.Horizon = *horizon
@@ -202,6 +220,38 @@ func run(args []string) error {
 			printed++
 		}
 	}
+	return nil
+}
+
+// runShrink loads a forensic bundle (written by a guarded, cache-backed
+// sweep under <cache-dir>/forensics/) and delta-debugs its scenario to a
+// minimal reproducer with the same failure signature. The shrunk spec is
+// itself a -scenario file, so the reduced failure replays directly.
+func runShrink(path, outPath string, maxRuns int) error {
+	b, err := invariant.ReadBundle(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bgpsim: shrinking %s (signature %q)\n", path, b.Signature)
+	spec, stats, err := experiment.ShrinkFailure(b, maxRuns)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bgpsim: wrote shrunk scenario to %s\n", outPath)
+	} else if _, err := os.Stdout.Write(data); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bgpsim: shrunk to %d nodes, %d links in %d runs (%d reductions accepted)\n",
+		spec.Topology.Size, len(spec.Topology.Edges), stats.Runs, stats.Accepted)
 	return nil
 }
 

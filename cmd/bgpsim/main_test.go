@@ -162,3 +162,56 @@ func TestRunWatchdogFlags(t *testing.T) {
 		t.Errorf("err = %v, want a verdict in the diagnosis", err)
 	}
 }
+
+func TestRunGuardFlag(t *testing.T) {
+	if err := run([]string{"-topo", "clique", "-size", "4", "-event", "tdown", "-guard", "full"}); err != nil {
+		t.Fatalf("guarded run failed: %v", err)
+	}
+	if err := run([]string{"-topo", "clique", "-size", "4", "-event", "tdown", "-guard", "sometimes"}); err == nil {
+		t.Error("unknown guard cadence accepted")
+	}
+}
+
+func TestRunShrinkEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// A guarded scenario with the corrupted-FIB self-test hook must fail;
+	// a cache-backed sweep then writes the forensic bundle under
+	// <cache>/forensics/, which -shrink reduces to a minimal reproducer.
+	path := filepath.Join(dir, "s.json")
+	spec := `{
+		"topology": {"family": "clique", "size": 5},
+		"event": "tdown", "seed": 3,
+		"guard": {"cadence": "full", "corruptFIBNode": 2}
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	err := run([]string{"-scenario", path, "-trials", "1", "-cache-dir", cacheDir})
+	if err == nil {
+		t.Fatal("corrupted-FIB sweep succeeded")
+	}
+	if !strings.Contains(err.Error(), "rib-fib-coherence") {
+		t.Fatalf("err = %v, want a rib-fib-coherence violation", err)
+	}
+	forensics, ferr := os.ReadDir(filepath.Join(cacheDir, "forensics"))
+	if ferr != nil || len(forensics) != 1 {
+		t.Fatalf("forensics dir: %v (%d entries), want 1 bundle", ferr, len(forensics))
+	}
+	bundle := filepath.Join(cacheDir, "forensics", forensics[0].Name())
+
+	out := filepath.Join(dir, "min.json")
+	if err := run([]string{"-shrink", bundle, "-shrink-out", out, "-shrink-runs", "128"}); err != nil {
+		t.Fatalf("-shrink: %v", err)
+	}
+	// The shrunk spec is itself a runnable -scenario file; it must still
+	// reproduce the violation.
+	err = run([]string{"-scenario", out})
+	if err == nil || !strings.Contains(err.Error(), "rib-fib-coherence") {
+		t.Errorf("shrunk scenario err = %v, want the preserved violation", err)
+	}
+
+	if err := run([]string{"-shrink", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing bundle accepted")
+	}
+}

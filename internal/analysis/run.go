@@ -11,12 +11,15 @@ var (
 	simPackages = []string{
 		"internal/des", "internal/bgp", "internal/netsim",
 		"internal/dataplane", "internal/experiment", "internal/faultplan",
+		"internal/invariant",
 	}
 	// kernelPackages must stay single-threaded: events execute one at a
-	// time in strict (time, insertion-order) order.
+	// time in strict (time, insertion-order) order. internal/invariant
+	// runs inside the kernel event loop (exec hooks, taps, observers) and
+	// is held to the same bar.
 	kernelPackages = []string{
 		"internal/des", "internal/bgp", "internal/netsim", "internal/dataplane",
-		"internal/faultplan",
+		"internal/faultplan", "internal/invariant",
 	}
 	// figurePackages compute the published numbers; exact float
 	// comparison there silently changes figures across platforms.

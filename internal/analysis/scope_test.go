@@ -11,6 +11,7 @@ func TestNoConcurrencyScopeCoversKernel(t *testing.T) {
 	noconc := NoConcurrencyAnalyzer()
 	for _, p := range []string{
 		"internal/des", "internal/bgp", "internal/netsim", "internal/faultplan",
+		"internal/invariant",
 	} {
 		if !noconc.Match(p) {
 			t.Errorf("noconcurrency no longer covers %s; the kernel must stay single-threaded", p)

@@ -139,3 +139,69 @@ func TestOscillationProbeTalkersSorted(t *testing.T) {
 		t.Errorf("PerSecond = %v, want 1.0 (2 updates / 2s)", st.Talkers[0].PerSecond)
 	}
 }
+
+func TestOscillationProbeEmptyRIBFingerprint(t *testing.T) {
+	p := NewOscillationProbe(3, 0)
+	// Node 1 installs a route, then loses it (empty RIB: no next hop, nil
+	// best path). The routeless state must be a distinct fingerprint —
+	// not the initial state, and not the routed one — or withdraw
+	// oscillations would be invisible.
+	p.RouteChanged(0, 1, 0, 0, routing.Path{0})
+	p.RouteChanged(time.Second, 1, 0, topology.None, nil)
+	st := p.Snapshot(2 * time.Second)
+	if st.DistinctStates != 2 {
+		t.Fatalf("DistinctStates = %d, want 2 (routed and routeless)", st.DistinctStates)
+	}
+	if st.MaxRecurrence != 1 {
+		t.Errorf("MaxRecurrence = %d, want 1", st.MaxRecurrence)
+	}
+	// An announce/withdraw flap cycles between exactly those two states.
+	for i := 2; i < 8; i += 2 {
+		p.RouteChanged(des.Time(i)*time.Second, 1, 0, 0, routing.Path{0})
+		p.RouteChanged(des.Time(i+1)*time.Second, 1, 0, topology.None, nil)
+	}
+	st = p.Snapshot(8 * time.Second)
+	if st.DistinctStates != 2 {
+		t.Errorf("flap DistinctStates = %d, want 2", st.DistinctStates)
+	}
+	if st.MaxRecurrence != 4 {
+		t.Errorf("flap MaxRecurrence = %d, want 4", st.MaxRecurrence)
+	}
+}
+
+func TestOscillationProbeSingleSpeaker(t *testing.T) {
+	// A single-node topology: the destination is the only speaker, so
+	// every callback cites out-of-range peers. The probe must ignore them
+	// rather than panic or misattribute state.
+	p := NewOscillationProbe(1, 0)
+	p.RouteChanged(0, 1, 0, 0, routing.Path{0}) // node 1 does not exist
+	p.UpdateSent(0, 1, 0, Update{})             // neither does this talker
+	st := p.Snapshot(time.Second)
+	if st.DistinctStates != 0 || len(st.Talkers) != 0 {
+		t.Errorf("single-speaker probe recorded %d states, %d talkers, want none",
+			st.DistinctStates, len(st.Talkers))
+	}
+	// The destination's own (degenerate) route change is still in range.
+	p.RouteChanged(0, 0, 0, 0, routing.Path{0})
+	if st := p.Snapshot(time.Second); st.DistinctStates != 1 {
+		t.Errorf("DistinctStates = %d, want 1", st.DistinctStates)
+	}
+}
+
+func TestOscillationProbeWindowLargerThanHorizon(t *testing.T) {
+	// When the virtual-time horizon cuts a phase short, a watchdog can
+	// snapshot at or before the phase start (zero or negative window).
+	// Rates must degrade to zero, never to Inf or negative values.
+	p := NewOscillationProbe(3, 0)
+	p.BeginPhase(10 * time.Second)
+	p.UpdateSent(10*time.Second, 1, 2, Update{})
+	for _, now := range []des.Time{10 * time.Second, 5 * time.Second} {
+		st := p.Snapshot(now)
+		if len(st.Talkers) != 1 {
+			t.Fatalf("Talkers at %v = %v, want 1 row", now, st.Talkers)
+		}
+		if ps := st.Talkers[0].PerSecond; ps != 0 {
+			t.Errorf("PerSecond at %v = %v, want 0 for a degenerate window", now, ps)
+		}
+	}
+}

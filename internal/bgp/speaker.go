@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"bgploop/internal/des"
+	"bgploop/internal/invariant"
 	"bgploop/internal/netsim"
 	"bgploop/internal/routing"
 	"bgploop/internal/topology"
@@ -160,17 +161,17 @@ func (s *Speaker) Deliver(from topology.Node, payload any) {
 	proc := des.Uniform(s.rngProc, s.cfg.ProcDelayMin, s.cfg.ProcDelayMax)
 	completion := start + proc
 	s.busyUntil = completion
-	// Panic justification (robustness audit): At fails only for instants
-	// before Now, and completion = max(now, busyUntil) + proc with
-	// proc >= ProcDelayMin >= 0 (enforced by Config.Validate) and
+	// Unreachability justification (robustness audit): At fails only for
+	// instants before Now, and completion = max(now, busyUntil) + proc
+	// with proc >= ProcDelayMin >= 0 (enforced by Config.Validate) and
 	// busyUntil only ever advanced, so completion >= now by construction.
 	// Deliver implements netsim.Handler, which has no error channel — a
 	// violated invariant here is a kernel/config bug, not a scenario
 	// condition, and must fail loudly at the violation site. Sweeps
-	// survive it: experiment.RunTrialsOpts converts the panic into a
-	// structured TrialFailure carrying the replayable scenario.
+	// survive it: trial recovery converts the invariant.Unreachable panic
+	// into a forensic bundle with a stable, shrinkable signature.
 	if _, err := s.sched.At(completion, func() { s.process(from, up) }); err != nil {
-		panic(fmt.Sprintf("bgp: impossible past scheduling: %v", err))
+		invariant.Unreachable("bgp-deliver-schedule", fmt.Sprintf("impossible past scheduling: %v", err))
 	}
 }
 

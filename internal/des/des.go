@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"bgploop/internal/invariant"
 )
 
 // Time is a virtual-time instant, measured as an offset from the start of
@@ -91,6 +93,12 @@ type Scheduler struct {
 	// executed counts events that have fired; useful for instrumentation
 	// and for guarding against runaway simulations.
 	executed uint64
+
+	// execHook, when set, observes every fired event just before its
+	// function runs. It is the invariant guard layer's tap: the hook must
+	// be observation-only (no scheduling, no RNG, no state mutation) so
+	// that a guarded run is byte-identical to an unguarded one.
+	execHook func(at Time)
 }
 
 // NewScheduler returns an empty scheduler positioned at virtual time zero.
@@ -116,6 +124,14 @@ func (s *Scheduler) Len() int {
 // Executed returns the number of events that have fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
+// SetExecHook installs (or, with nil, removes) the per-event observation
+// hook. The hook fires once per executed event, after the clock has
+// advanced to the event's timestamp and before the event function runs —
+// i.e. at a point where all simulation state is between-events
+// consistent. Hooks must be observation-only; they are how the invariant
+// guard engine sees the kernel without perturbing it.
+func (s *Scheduler) SetExecHook(fn func(at Time)) { s.execHook = fn }
+
 // At schedules fn to run at the absolute virtual time t. Events scheduled
 // for the same instant fire in the order they were scheduled.
 func (s *Scheduler) At(t Time, fn func()) (Handle, error) {
@@ -135,25 +151,26 @@ func (s *Scheduler) After(d time.Duration, fn func()) (Handle, error) {
 }
 
 // MustAfter is After for delays known to be non-negative by construction
-// (e.g. timer intervals from a validated config). It panics on ErrPastTime,
-// which in that context indicates a programming error, not a runtime
-// condition.
+// (e.g. timer intervals from a validated config). It treats ErrPastTime
+// as an unreachable state, which in that context indicates a programming
+// error, not a runtime condition.
 //
-// Panic justification (see the robustness audit): After fails only when
-// d < 0, i.e. the requested instant lies before Now. Every call site is
-// required to pass a delay derived from a validated, non-negative config
-// value or an explicit max(now, t) - now computation, so a failure here
-// cannot be triggered by scenario input — only by a new call site breaking
-// the invariant. Converting it to a returned error would force callers
-// (timer re-arms deep inside event handlers) to invent an error path for a
-// condition that is impossible by construction; crashing loudly at the
-// exact violation site is the safer behaviour. Harness-level recovery
-// (experiment.RunTrialsOpts) converts such a panic into a structured
-// TrialFailure without killing the whole sweep.
+// Unreachability justification (see the robustness audit): After fails
+// only when d < 0, i.e. the requested instant lies before Now. Every call
+// site is required to pass a delay derived from a validated, non-negative
+// config value or an explicit max(now, t) - now computation, so a failure
+// here cannot be triggered by scenario input — only by a new call site
+// breaking the invariant. Converting it to a returned error would force
+// callers (timer re-arms deep inside event handlers) to invent an error
+// path for a condition that is impossible by construction; failing loudly
+// at the exact violation site is the safer behaviour. The panic is routed
+// through invariant.Unreachable so that harness-level recovery
+// (experiment trial recovery) converts it into a forensic bundle with a
+// stable, shrinkable signature instead of killing the whole sweep.
 func (s *Scheduler) MustAfter(d time.Duration, fn func()) Handle {
 	h, err := s.After(d, fn)
 	if err != nil {
-		panic(err)
+		invariant.Unreachable("des-must-after", err.Error())
 	}
 	return h
 }
@@ -169,6 +186,9 @@ func (s *Scheduler) Step() bool {
 		s.now = ev.at
 		ev.fired = true
 		s.executed++
+		if s.execHook != nil {
+			s.execHook(ev.at)
+		}
 		ev.fn()
 		return true
 	}

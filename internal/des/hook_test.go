@@ -1,0 +1,59 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExecHookObservesEveryEvent(t *testing.T) {
+	s := NewScheduler()
+	var hooked []Time
+	var ran int
+	s.SetExecHook(func(at Time) {
+		hooked = append(hooked, at)
+		if len(hooked) != ran+1 {
+			t.Fatalf("hook fired after the event function (ran=%d)", ran)
+		}
+	})
+	for _, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		if _, err := s.After(d, func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if ran != 3 || len(hooked) != 3 {
+		t.Fatalf("ran=%d hooked=%d, want 3/3", ran, len(hooked))
+	}
+	for i, want := range []Time{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		if hooked[i] != want {
+			t.Fatalf("hooked[%d] = %v, want %v", i, hooked[i], want)
+		}
+	}
+	// Removing the hook stops observation.
+	s.SetExecHook(nil)
+	if _, err := s.After(time.Millisecond, func() { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(hooked) != 3 {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+func TestExecHookSkipsCancelledEvents(t *testing.T) {
+	s := NewScheduler()
+	var hooks int
+	s.SetExecHook(func(Time) { hooks++ })
+	h, err := s.After(time.Millisecond, func() { t.Fatal("cancelled event ran") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Cancel()
+	if _, err := s.After(2*time.Millisecond, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if hooks != 1 {
+		t.Fatalf("hook fired %d times, want 1 (cancelled events are not executed)", hooks)
+	}
+}

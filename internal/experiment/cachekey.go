@@ -105,10 +105,13 @@ func exportFingerprint(e bgp.ExportPolicy) (string, bool) {
 //
 // The empty string means "not cacheable": the scenario's outcome depends
 // on state the key cannot capture — a per-node PolicyFor hook, a custom
-// Policy or Export without a CacheFingerprint, or an enabled TraceLimit
-// (traces are excluded from the stored encoding).
+// Policy or Export without a CacheFingerprint, an enabled TraceLimit
+// (traces are excluded from the stored encoding), or a Guard.CorruptFIBNode
+// fault-injection hook (the injected violation depends on the guard
+// configuration, which is otherwise excluded from the key because guards
+// are observation-only).
 func (s Scenario) CacheKey() string {
-	if s.Graph == nil || s.TraceLimit > 0 || s.BGP.PolicyFor != nil {
+	if s.Graph == nil || s.TraceLimit > 0 || s.BGP.PolicyFor != nil || s.Guard.CorruptFIBNode != nil {
 		return ""
 	}
 	pol, ok := policyFingerprint(s.BGP.Policy)

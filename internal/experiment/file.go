@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -10,6 +11,8 @@ import (
 	"bgploop/internal/bgp"
 	"bgploop/internal/core/sortedmap"
 	"bgploop/internal/faultplan"
+	"bgploop/internal/invariant"
+	"bgploop/internal/routing"
 	"bgploop/internal/topology"
 )
 
@@ -29,6 +32,8 @@ type ScenarioSpec struct {
 	// to the [4 0] link.
 	FailLink *[2]int `json:"failLink,omitempty"`
 
+	// MRAISeconds sets the MRAI timer; zero keeps the default, and a
+	// negative value means an explicit zero MRAI (no rate limiting).
 	MRAISeconds         float64         `json:"mraiSeconds,omitempty"`
 	MRAIContinuous      bool            `json:"mraiContinuous,omitempty"`
 	Enhancements        map[string]bool `json:"enhancements,omitempty"`
@@ -37,6 +42,14 @@ type ScenarioSpec struct {
 	RestoreDelaySeconds float64         `json:"restoreDelaySeconds,omitempty"`
 	Seed                int64           `json:"seed,omitempty"`
 	TraceLimit          int             `json:"traceLimit,omitempty"`
+	// Workload parameters; zero keeps the harness defaults.
+	PacketIntervalSeconds float64 `json:"packetIntervalSeconds,omitempty"`
+	TTL                   int     `json:"ttl,omitempty"`
+	LinkDelaySeconds      float64 `json:"linkDelaySeconds,omitempty"`
+	SettleDelaySeconds    float64 `json:"settleDelaySeconds,omitempty"`
+	// Guard configures the runtime invariant guards; nil keeps the
+	// Scenario default (BGPSIM_GUARD environment variable, else off).
+	Guard *invariant.Config `json:"guard,omitempty"`
 	// FaultPlan, when present, replaces the single-event model ("event",
 	// "failLink", "flapCycles", "restoreDelaySeconds" are then ignored
 	// and "event" may be omitted).
@@ -172,14 +185,19 @@ func NewFaultPlanSpec(p *faultplan.Plan) *FaultPlanSpec {
 // TopologySpec names a topology family and its parameters.
 type TopologySpec struct {
 	// Family is one of clique, bclique, chain, ring, star, figure1,
-	// figure2, internet, ba, waxman, or file.
+	// figure2, internet, ba, waxman, file, or edges.
 	Family string `json:"family"`
-	// Size is the family's size parameter.
+	// Size is the family's size parameter; for family "edges" it is the
+	// node count.
 	Size int `json:"size,omitempty"`
 	// Seed drives generated families (internet, ba, waxman).
 	Seed int64 `json:"seed,omitempty"`
 	// Path is the edge-list file for family "file".
 	Path string `json:"path,omitempty"`
+	// Edges is the explicit [a, b] link list for family "edges" — the
+	// self-contained form forensic bundles and the scenario shrinker use,
+	// since it survives node removal without re-running a generator.
+	Edges [][2]int `json:"edges,omitempty"`
 }
 
 // Build constructs the topology described by the spec.
@@ -212,6 +230,18 @@ func (ts TopologySpec) Build() (*topology.Graph, error) {
 		}
 		defer func() { _ = f.Close() }()
 		return topology.ReadEdgeList(f)
+	case "edges":
+		if ts.Size <= 0 {
+			return nil, fmt.Errorf("experiment: edges topology needs a positive size, got %d", ts.Size)
+		}
+		g := topology.New(ts.Size)
+		g.SetName(fmt.Sprintf("edges-%d", ts.Size))
+		for _, e := range ts.Edges {
+			if err := g.AddEdge(topology.Node(e[0]), topology.Node(e[1])); err != nil {
+				return nil, fmt.Errorf("experiment: edges topology: %w", err)
+			}
+		}
+		return g, nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown topology family %q", ts.Family)
 	}
@@ -245,8 +275,11 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 		return Scenario{}, err
 	}
 	cfg := bgp.DefaultConfig()
-	if spec.MRAISeconds > 0 {
+	switch {
+	case spec.MRAISeconds > 0:
 		cfg.MRAI = time.Duration(spec.MRAISeconds * float64(time.Second))
+	case spec.MRAISeconds < 0:
+		cfg.MRAI = 0
 	}
 	cfg.MRAIContinuous = spec.MRAIContinuous
 	// Sorted iteration: with several enhancement keys the map order is
@@ -292,6 +325,13 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 		MaxEvents:        spec.MaxEvents,
 		PhaseEventBudget: spec.PhaseEventBudget,
 		Horizon:          time.Duration(spec.HorizonSeconds * float64(time.Second)),
+		PacketInterval:   time.Duration(spec.PacketIntervalSeconds * float64(time.Second)),
+		TTL:              spec.TTL,
+		LinkDelay:        time.Duration(spec.LinkDelaySeconds * float64(time.Second)),
+		SettleDelay:      time.Duration(spec.SettleDelaySeconds * float64(time.Second)),
+	}
+	if spec.Guard != nil {
+		s.Guard = *spec.Guard
 	}
 	if spec.FaultPlan != nil {
 		plan, err := spec.FaultPlan.Plan()
@@ -326,4 +366,120 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 		return Scenario{}, err
 	}
 	return s, nil
+}
+
+// NewScenarioSpec renders a Scenario back into its JSON spec form — the
+// inverse of ScenarioSpec.Scenario, used by forensic bundles so a failed
+// trial can be replayed and shrunk from the serialized spec alone. The
+// topology is emitted as a self-contained "edges" family (node count plus
+// explicit link list), which survives the shrinker's node and link
+// removals without re-running a generator.
+//
+// Not every Scenario is spec-representable: a custom routing Policy, a
+// per-node PolicyFor hook, a custom Export policy, non-default jitter or
+// processing-delay ranges, a non-default damping configuration, or an
+// SSLDImmediate flag without SSLD all return an error.
+func NewScenarioSpec(s Scenario) (*ScenarioSpec, error) {
+	if s.Graph == nil {
+		return nil, errors.New("experiment: nil topology is not spec-representable")
+	}
+	if s.BGP.PolicyFor != nil {
+		return nil, errors.New("experiment: per-node PolicyFor hooks are not spec-representable")
+	}
+	switch s.BGP.Policy.(type) {
+	case nil, routing.ShortestPath:
+	default:
+		return nil, fmt.Errorf("experiment: custom policy %T is not spec-representable", s.BGP.Policy)
+	}
+	if s.BGP.Export != nil {
+		return nil, fmt.Errorf("experiment: custom export policy %T is not spec-representable", s.BGP.Export)
+	}
+	def := bgp.DefaultConfig()
+	if s.BGP.JitterMin != def.JitterMin || s.BGP.JitterMax != def.JitterMax ||
+		s.BGP.ProcDelayMin != def.ProcDelayMin || s.BGP.ProcDelayMax != def.ProcDelayMax {
+		return nil, errors.New("experiment: non-default jitter or processing-delay ranges are not spec-representable")
+	}
+
+	edges := s.Graph.Edges()
+	spec := &ScenarioSpec{
+		Topology: TopologySpec{
+			Family: "edges",
+			Size:   s.Graph.NumNodes(),
+			Edges:  make([][2]int, len(edges)),
+		},
+		MRAIContinuous:      s.BGP.MRAIContinuous,
+		FlapCycles:          s.FlapCycles,
+		RestoreDelaySeconds: s.RestoreDelay.Seconds(),
+		Seed:                s.Seed,
+		TraceLimit:          s.TraceLimit,
+		MaxEvents:           s.MaxEvents,
+		PhaseEventBudget:    s.PhaseEventBudget,
+		HorizonSeconds:      s.Horizon.Seconds(),
+
+		PacketIntervalSeconds: s.PacketInterval.Seconds(),
+		TTL:                   s.TTL,
+		LinkDelaySeconds:      s.LinkDelay.Seconds(),
+		SettleDelaySeconds:    s.SettleDelay.Seconds(),
+	}
+	for i, e := range edges {
+		spec.Topology.Edges[i] = [2]int{int(e.A), int(e.B)}
+	}
+	d := int(s.Dest)
+	spec.Dest = &d
+
+	if s.BGP.MRAI == 0 {
+		spec.MRAISeconds = -1 // explicit zero, not "use the default"
+	} else {
+		spec.MRAISeconds = s.BGP.MRAI.Seconds()
+	}
+
+	e := s.BGP.Enhancements
+	enh := map[string]bool{}
+	switch {
+	case e.SSLDImmediate && !e.SSLD:
+		return nil, errors.New("experiment: SSLDImmediate without SSLD is not spec-representable")
+	case e.SSLDImmediate:
+		enh["ssldImmediate"] = true
+	case e.SSLD:
+		enh["ssld"] = true
+	}
+	if e.WRATE {
+		enh["wrate"] = true
+	}
+	if e.Assertion {
+		enh["assertion"] = true
+	}
+	if e.GhostFlushing {
+		enh["ghostflush"] = true
+	}
+	if len(enh) > 0 {
+		spec.Enhancements = enh
+	}
+
+	if s.BGP.Damping != nil {
+		if *s.BGP.Damping != *bgp.DefaultDamping() {
+			return nil, errors.New("experiment: non-default damping configuration is not spec-representable")
+		}
+		spec.Damping = true
+	}
+
+	if s.Guard != (invariant.Config{}) {
+		gc := s.Guard
+		spec.Guard = &gc
+	}
+
+	if s.FaultPlan != nil {
+		spec.FaultPlan = NewFaultPlanSpec(s.FaultPlan)
+		return spec, nil
+	}
+	switch s.Event {
+	case TDown:
+		spec.Event = "tdown"
+	case TLong:
+		spec.Event = "tlong"
+		spec.FailLink = &[2]int{int(s.FailLink.A), int(s.FailLink.B)}
+	default:
+		return nil, fmt.Errorf("experiment: unknown event kind %d is not spec-representable", int(s.Event))
+	}
+	return spec, nil
 }

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioSpecJSON throws arbitrary JSON at the scenario-file loader:
+// no input may panic, and any spec that loads into a valid Scenario must
+// survive the NewScenarioSpec round trip (re-materialising into an
+// equally valid Scenario). Oversized generated topologies and the
+// file-reading family are skipped — the target fuzzes the codec, not the
+// generators.
+func FuzzScenarioSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"topology": {"family": "clique", "size": 4}, "event": "tdown", "seed": 2}`))
+	f.Add([]byte(`{"topology": {"family": "bclique", "size": 3}, "event": "tlong", "mraiSeconds": 5}`))
+	f.Add([]byte(`{"topology": {"family": "edges", "size": 3, "edges": [[0,1],[1,2],[2,0]]},
+		"event": "tdown", "dest": 1, "guard": {"cadence": "full"}}`))
+	f.Add([]byte(`{"topology": {"family": "ring", "size": 5}, "seed": 3,
+		"faultPlan": {"phases": [{"name": "cut", "delaySeconds": 1, "measure": true, "role": "main",
+		"actions": [{"op": "linkDown", "link": [1, 2]}]}]}}`))
+	f.Add([]byte(`{"topology": {"family": "clique", "size": 4}, "event": "tdown",
+		"mraiSeconds": -1, "enhancements": {"ssldImmediate": true}, "damping": true,
+		"packetIntervalSeconds": 0.5, "ttl": 16, "linkDelaySeconds": 0.001, "settleDelaySeconds": 2}`))
+	f.Add([]byte(`{"topology": {"family": "chain", "size": -1}}`))
+	f.Add([]byte(`{"topology"`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bound the work: building huge generated topologies is the
+		// generators' business, not the codec's.
+		var probe struct {
+			Topology struct {
+				Family string
+				Size   int
+			}
+		}
+		if json.Unmarshal(data, &probe) == nil {
+			if probe.Topology.Size > 32 || probe.Topology.Family == "file" {
+				t.Skip()
+			}
+		}
+		s, err := LoadScenario(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		spec, err := NewScenarioSpec(s)
+		if err != nil {
+			// Loaded scenarios use only spec-representable configuration.
+			t.Fatalf("loaded scenario is not spec-representable: %v", err)
+		}
+		if _, err := spec.Scenario(); err != nil {
+			t.Fatalf("round-tripped spec does not materialise: %v", err)
+		}
+	})
+}

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"time"
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/dataplane"
 	"bgploop/internal/des"
 	"bgploop/internal/faultplan"
+	"bgploop/internal/invariant"
 	"bgploop/internal/loopanalysis"
 	"bgploop/internal/netsim"
 	"bgploop/internal/routing"
@@ -194,7 +196,14 @@ const quiescenceChunk = 50_000
 // bounded time. The DES kernel itself stays single-threaded and knows
 // nothing about contexts; cancellation lives entirely in this harness
 // layer. The returned error wraps ctx.Err() when the run was interrupted.
-func RunContext(ctx context.Context, s Scenario) (*Result, error) {
+//
+// With guards enabled (Scenario.Guard or BGPSIM_GUARD) an invariant
+// engine observes the run through the kernel exec hook, the network tap,
+// and the speaker observer; a violation aborts the run with a
+// *invariant.ViolationError, and an internal panic is converted into a
+// *invariant.PanicError carrying the event trail and RIB digests. Guards
+// are observation-only: they never change a successful run's Result.
+func RunContext(ctx context.Context, s Scenario) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -233,7 +242,30 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 	}
 	speakerObs = bgp.Tee(speakerObs, probe)
 
+	// The speakers slice is allocated before the guard engine is built:
+	// the engine's sweep checks close over the backing array, which the
+	// construction loop below fills in.
 	speakers := make([]*bgp.Speaker, s.Graph.NumNodes())
+
+	var eng *invariant.Engine
+	if s.Guard.Enabled() {
+		eng = buildGuardEngine(s, sched, speakers, obs)
+		sched.SetExecHook(eng.NoteExec)
+		net.SetTap(&guardTap{eng: eng, sched: sched})
+		// The guard observer rides last on the Tee so the measurement
+		// observer (and trace recorder) have already seen each event.
+		speakerObs = bgp.Tee(speakerObs, &guardObserver{eng: eng})
+		// Panic-to-diagnostic conversion: with guards on, an internal
+		// panic becomes a structured PanicError carrying the event trail
+		// and RIB digests instead of unwinding to the trial recovery.
+		defer func() {
+			if r := recover(); r != nil {
+				res = nil
+				err = eng.CapturePanic(r, debug.Stack())
+			}
+		}()
+	}
+
 	for _, v := range s.Graph.Nodes() {
 		sp, err := bgp.NewSpeaker(v, sched, net, s.BGP, rng, speakerObs)
 		if err != nil {
@@ -273,6 +305,11 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 			n, hitHorizon = sched.RunLimitUntil(chunk, horizon)
 			used += n
 			budget -= n
+			if eng != nil {
+				if verr := eng.Err(); verr != nil {
+					return used, verr
+				}
+			}
 			if n < chunk {
 				break // queue drained before the chunk ran out
 			}
@@ -283,6 +320,15 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 		}
 		if obs.err != nil {
 			return used, obs.err
+		}
+		if eng != nil {
+			// Quiescence reached: the queue is drained, so message
+			// conservation must hold with equality and a sweep pass runs
+			// regardless of cadence.
+			eng.PhaseBoundary(sched.Now(), phaseName)
+			if verr := eng.Err(); verr != nil {
+				return used, verr
+			}
 		}
 		return used, nil
 	}
@@ -346,7 +392,7 @@ func RunContext(ctx context.Context, s Scenario) (*Result, error) {
 	}
 
 	main := phases[byIndex[mainIdx]]
-	res := &Result{
+	res = &Result{
 		Topology:           s.Graph.Name(),
 		Nodes:              s.Graph.NumNodes(),
 		Event:              s.Event,

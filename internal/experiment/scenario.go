@@ -7,11 +7,13 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/dataplane"
 	"bgploop/internal/faultplan"
+	"bgploop/internal/invariant"
 	"bgploop/internal/topology"
 )
 
@@ -93,6 +95,11 @@ type Scenario struct {
 	// a phase whose next pending event lies beyond the horizon aborts
 	// with a QuiescenceFailure diagnosis. Zero disables the cap.
 	Horizon time.Duration
+	// Guard configures the runtime invariant guards (internal/invariant).
+	// An unset cadence consults the BGPSIM_GUARD environment variable
+	// (off/phase/every-n/full) and falls back to Off. Guards are
+	// observation-only: enabling them never changes a run's Result.
+	Guard invariant.Config
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -111,6 +118,9 @@ func (s Scenario) withDefaults() Scenario {
 	if s.MaxEvents == 0 {
 		s.MaxEvents = 50_000_000
 	}
+	if s.Guard.Cadence == invariant.CadenceUnset {
+		s.Guard.Cadence = invariant.FromEnv(os.Getenv("BGPSIM_GUARD"))
+	}
 	return s
 }
 
@@ -127,6 +137,17 @@ func (s Scenario) Validate() error {
 	}
 	if s.Horizon < 0 {
 		return fmt.Errorf("experiment: negative horizon %v", s.Horizon)
+	}
+	if err := s.Guard.Validate(); err != nil {
+		return err
+	}
+	if n := s.Guard.CorruptFIBNode; n != nil {
+		if !s.Graph.Valid(topology.Node(*n)) {
+			return fmt.Errorf("experiment: CorruptFIBNode %d not in topology", *n)
+		}
+		if topology.Node(*n) == s.Dest {
+			return errors.New("experiment: CorruptFIBNode must not be the destination (the destination has no forwarding entry)")
+		}
 	}
 	if s.FaultPlan != nil {
 		// The plan supersedes the single-event fields entirely.

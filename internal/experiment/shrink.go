@@ -1,0 +1,376 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"bgploop/internal/invariant"
+	"bgploop/internal/topology"
+)
+
+// ForensicsDirName is the subdirectory of a sweep cache directory where
+// trial forensic bundles are written.
+const ForensicsDirName = "forensics"
+
+// ForensicsDir returns the forensic-bundle directory under a sweep cache
+// root.
+func ForensicsDir(cacheDir string) string {
+	return filepath.Join(cacheDir, ForensicsDirName)
+}
+
+// FailureSignature classifies a trial error into the stable signature the
+// scenario shrinker preserves: "invariant:<id>" for guard violations,
+// "panic:<value>" for recovered panics, "no-quiescence:<verdict>" for
+// watchdog diagnoses, and "" for anything else (including success).
+func FailureSignature(err error) string {
+	if err == nil {
+		return ""
+	}
+	var ve *invariant.ViolationError
+	if errors.As(err, &ve) {
+		return "invariant:" + ve.V.ID
+	}
+	var pe *invariant.PanicError
+	if errors.As(err, &pe) {
+		return "panic:" + pe.Value
+	}
+	var qf *QuiescenceFailure
+	if errors.As(err, &qf) {
+		return "no-quiescence:" + qf.Verdict
+	}
+	var tf *TrialFailure
+	if errors.As(err, &tf) && tf.Panicked {
+		// Guards-off panics carry no typed PanicError; the recover path's
+		// stringified value is the same signature CapturePanic would give.
+		return "panic:" + tf.PanicValue
+	}
+	return ""
+}
+
+// newForensicBundle builds the serializable forensic record for a failed
+// trial, or nil when the failure has no shrinkable signature (generator
+// errors, cancellations).
+func newForensicBundle(fail *TrialFailure) *invariant.Bundle {
+	sig := FailureSignature(fail)
+	if sig == "" {
+		return nil
+	}
+	b := &invariant.Bundle{
+		Version:   invariant.BundleVersion,
+		CacheKey:  fail.Scenario.CacheKey(),
+		Seed:      fail.Seed,
+		Signature: sig,
+	}
+	var ve *invariant.ViolationError
+	var pe *invariant.PanicError
+	switch {
+	case errors.As(fail.Err, &ve):
+		v := ve.V
+		b.Violation = &v
+		b.Trail = v.Trail
+		b.RIBDigests = ve.RIBDigests
+	case errors.As(fail.Err, &pe):
+		b.PanicValue = pe.Value
+		b.Stack = pe.Stack
+		b.Trail = pe.Trail
+		b.RIBDigests = pe.RIBDigests
+	case fail.Panicked:
+		b.PanicValue = fail.PanicValue
+		b.Stack = fail.Stack
+	}
+	if spec, err := NewScenarioSpec(fail.Scenario); err == nil {
+		if raw, err := json.Marshal(spec); err == nil {
+			b.Scenario = raw
+		}
+	}
+	return b
+}
+
+// attachForensics converts a trial failure into its forensic bundle and,
+// when the sweep has a cache directory, persists the bundle under
+// ForensicsDir for later `bgpsim -shrink`. Bundle write errors are
+// swallowed: forensics must never turn a diagnosable failure into an
+// undiagnosable one.
+func attachForensics(fail *TrialFailure, dir string) {
+	b := newForensicBundle(fail)
+	if b == nil {
+		return
+	}
+	fail.Forensic = b
+	if dir == "" {
+		return
+	}
+	if p, err := invariant.WriteBundle(dir, b); err == nil {
+		fail.ForensicPath = p
+	}
+}
+
+// runForSignature executes a scenario spec and reports its failure
+// signature, recovering panics so guards-off crashes classify the same
+// way the guard layer's CapturePanic would. An unbuildable candidate
+// returns "" (never reproduces).
+func runForSignature(spec ScenarioSpec) (sig string) {
+	defer func() {
+		if r := recover(); r != nil {
+			sig = "panic:" + fmt.Sprint(r)
+		}
+	}()
+	s, err := spec.Scenario()
+	if err != nil {
+		return ""
+	}
+	_, err = RunContext(context.Background(), s)
+	return FailureSignature(err)
+}
+
+// ShrinkFailure minimizes a forensic bundle's scenario while preserving
+// its failure signature: it canonicalizes the bundle's spec into the
+// self-contained "edges" topology form, verifies the failure reproduces,
+// and then delta-debugs it — removing topology nodes and links, dropping
+// fault-plan slack, and halving budgets. maxRuns caps the candidate
+// trials executed (invariant.DefaultShrinkRuns when <= 0). The returned
+// stats count the verification run.
+func ShrinkFailure(b *invariant.Bundle, maxRuns int) (ScenarioSpec, invariant.ShrinkStats, error) {
+	var zero ScenarioSpec
+	if b == nil || len(b.Scenario) == 0 {
+		return zero, invariant.ShrinkStats{}, errors.New("experiment: bundle carries no replayable scenario spec")
+	}
+	var spec ScenarioSpec
+	if err := json.Unmarshal(b.Scenario, &spec); err != nil {
+		return zero, invariant.ShrinkStats{}, fmt.Errorf("experiment: decode bundle scenario: %w", err)
+	}
+	s, err := spec.Scenario()
+	if err != nil {
+		return zero, invariant.ShrinkStats{}, fmt.Errorf("experiment: bundle scenario: %w", err)
+	}
+	canon, err := NewScenarioSpec(s)
+	if err != nil {
+		return zero, invariant.ShrinkStats{}, fmt.Errorf("experiment: bundle scenario is not shrinkable: %w", err)
+	}
+	if got := runForSignature(*canon); got != b.Signature {
+		return zero, invariant.ShrinkStats{Runs: 1, Signature: b.Signature},
+			fmt.Errorf("experiment: bundle does not reproduce: got signature %q, want %q", got, b.Signature)
+	}
+	passes := []func(ScenarioSpec) []ScenarioSpec{
+		shrinkRemoveNode,
+		shrinkRemoveEdge,
+		shrinkBudget,
+	}
+	min, stats := invariant.Shrink(*canon, b.Signature, runForSignature, passes, maxRuns)
+	stats.Runs++ // account for the verification run above
+	return min, stats, nil
+}
+
+// cloneSpec deep-copies a spec through its JSON form so candidate edits
+// never alias the current scenario's slices.
+func cloneSpec(spec ScenarioSpec) ScenarioSpec {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		invariant.Unreachable("experiment-clone-spec", err.Error())
+	}
+	var out ScenarioSpec
+	if err := json.Unmarshal(raw, &out); err != nil {
+		invariant.Unreachable("experiment-clone-spec", err.Error())
+	}
+	return out
+}
+
+// specBuildable reports whether a candidate materialises into a valid
+// Scenario (connectivity, bridge constraints, dest and guard validity all
+// checked by Scenario/Validate), so obviously-dead candidates never spend
+// a trial from the shrink budget.
+func specBuildable(spec ScenarioSpec) bool {
+	_, err := spec.Scenario()
+	return err == nil
+}
+
+// pinnedNodes collects the node ids a candidate must keep: the
+// destination, the guard's corruption target, and every node referenced
+// by the failure event or fault plan.
+func pinnedNodes(spec ScenarioSpec) map[int]bool {
+	pinned := map[int]bool{}
+	if spec.Dest != nil {
+		pinned[*spec.Dest] = true
+	} else {
+		pinned[0] = true
+	}
+	if spec.Guard != nil && spec.Guard.CorruptFIBNode != nil {
+		pinned[*spec.Guard.CorruptFIBNode] = true
+	}
+	if spec.FailLink != nil {
+		pinned[spec.FailLink[0]] = true
+		pinned[spec.FailLink[1]] = true
+	}
+	if spec.FaultPlan != nil {
+		for _, ph := range spec.FaultPlan.Phases {
+			for _, a := range ph.Actions {
+				if a.Link != nil {
+					pinned[a.Link[0]] = true
+					pinned[a.Link[1]] = true
+				}
+				if a.Node != nil {
+					pinned[*a.Node] = true
+				}
+				for _, l := range a.Links {
+					pinned[l[0]] = true
+					pinned[l[1]] = true
+				}
+			}
+		}
+	}
+	return pinned
+}
+
+// relabel maps a node id after node v was removed: ids above v shift down
+// by one.
+func relabel(id, v int) int {
+	if id > v {
+		return id - 1
+	}
+	return id
+}
+
+// shrinkRemoveNode proposes candidates with one unpinned node removed
+// (its incident links dropped, remaining ids relabeled to stay dense).
+func shrinkRemoveNode(spec ScenarioSpec) []ScenarioSpec {
+	if spec.Topology.Family != "edges" {
+		return nil
+	}
+	pinned := pinnedNodes(spec)
+	var out []ScenarioSpec
+	for v := 0; v < spec.Topology.Size; v++ {
+		if pinned[v] {
+			continue
+		}
+		c := cloneSpec(spec)
+		c.Topology.Size--
+		edges := c.Topology.Edges[:0]
+		for _, e := range c.Topology.Edges {
+			if e[0] == v || e[1] == v {
+				continue
+			}
+			edges = append(edges, [2]int{relabel(e[0], v), relabel(e[1], v)})
+		}
+		c.Topology.Edges = edges
+		if c.Dest != nil {
+			d := relabel(*c.Dest, v)
+			c.Dest = &d
+		}
+		if c.Guard != nil && c.Guard.CorruptFIBNode != nil {
+			n := relabel(*c.Guard.CorruptFIBNode, v)
+			c.Guard.CorruptFIBNode = &n
+		}
+		if c.FailLink != nil {
+			c.FailLink = &[2]int{relabel(c.FailLink[0], v), relabel(c.FailLink[1], v)}
+		}
+		if c.FaultPlan != nil {
+			for pi := range c.FaultPlan.Phases {
+				for ai := range c.FaultPlan.Phases[pi].Actions {
+					a := &c.FaultPlan.Phases[pi].Actions[ai]
+					if a.Link != nil {
+						a.Link = &[2]int{relabel(a.Link[0], v), relabel(a.Link[1], v)}
+					}
+					if a.Node != nil {
+						n := relabel(*a.Node, v)
+						a.Node = &n
+					}
+					for li := range a.Links {
+						a.Links[li] = [2]int{relabel(a.Links[li][0], v), relabel(a.Links[li][1], v)}
+					}
+				}
+			}
+		}
+		if specBuildable(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// pinnedEdges collects the [a, b] links a candidate must keep: the
+// failure link and every link referenced by the fault plan.
+func pinnedEdges(spec ScenarioSpec) map[topology.Edge]bool {
+	pinned := map[topology.Edge]bool{}
+	pin := func(l [2]int) {
+		pinned[topology.NormEdge(topology.Node(l[0]), topology.Node(l[1]))] = true
+	}
+	if spec.FailLink != nil {
+		pin(*spec.FailLink)
+	}
+	if spec.FaultPlan != nil {
+		for _, ph := range spec.FaultPlan.Phases {
+			for _, a := range ph.Actions {
+				if a.Link != nil {
+					pin(*a.Link)
+				}
+				for _, l := range a.Links {
+					pin(l)
+				}
+			}
+		}
+	}
+	return pinned
+}
+
+// shrinkRemoveEdge proposes candidates with one unpinned link removed.
+func shrinkRemoveEdge(spec ScenarioSpec) []ScenarioSpec {
+	if spec.Topology.Family != "edges" {
+		return nil
+	}
+	pinned := pinnedEdges(spec)
+	var out []ScenarioSpec
+	for i, e := range spec.Topology.Edges {
+		if pinned[topology.NormEdge(topology.Node(e[0]), topology.Node(e[1]))] {
+			continue
+		}
+		c := cloneSpec(spec)
+		c.Topology.Edges = append(c.Topology.Edges[:i], c.Topology.Edges[i+1:]...)
+		if specBuildable(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// shrinkBudget proposes candidates with scenario slack removed: pre-flap
+// cycles dropped or halved, the recovery delay dropped, non-main
+// fault-plan phases dropped, and the event/time budgets halved.
+func shrinkBudget(spec ScenarioSpec) []ScenarioSpec {
+	var out []ScenarioSpec
+	propose := func(edit func(*ScenarioSpec)) {
+		c := cloneSpec(spec)
+		edit(&c)
+		if specBuildable(c) {
+			out = append(out, c)
+		}
+	}
+	if spec.FlapCycles > 0 {
+		propose(func(c *ScenarioSpec) { c.FlapCycles = 0 })
+	}
+	if spec.FlapCycles > 1 {
+		propose(func(c *ScenarioSpec) { c.FlapCycles /= 2 })
+	}
+	if spec.RestoreDelaySeconds > 0 {
+		propose(func(c *ScenarioSpec) { c.RestoreDelaySeconds = 0 })
+	}
+	if spec.FaultPlan != nil {
+		for i, ph := range spec.FaultPlan.Phases {
+			if ph.Role == "main" {
+				continue
+			}
+			propose(func(c *ScenarioSpec) {
+				c.FaultPlan.Phases = append(c.FaultPlan.Phases[:i], c.FaultPlan.Phases[i+1:]...)
+			})
+		}
+	}
+	if spec.MaxEvents > 1 {
+		propose(func(c *ScenarioSpec) { c.MaxEvents /= 2 })
+	}
+	if spec.HorizonSeconds > 0 {
+		propose(func(c *ScenarioSpec) { c.HorizonSeconds /= 2 })
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/des"
+	"bgploop/internal/invariant"
 	"bgploop/internal/metrics"
 	"bgploop/internal/sweep"
 	"bgploop/internal/topology"
@@ -40,6 +41,13 @@ type TrialFailure struct {
 	Panicked   bool
 	PanicValue string
 	Stack      string `json:"-"`
+	// Forensic is the failure's forensic bundle (set for invariant
+	// violations, panics, and non-quiescence diagnoses); ForensicPath is
+	// where a cache-backed sweep persisted it for `bgpsim -shrink`. Both
+	// are excluded from digests: the bundle embeds a stack trace and the
+	// path is host-specific.
+	Forensic     *invariant.Bundle `json:"-"`
+	ForensicPath string            `json:"-"`
 }
 
 // Error implements error with the sweep's historical message shape.
@@ -214,9 +222,14 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 		defer func() { _ = journal.Close() }()
 	}
 
+	forensicsDir := ""
+	if cache != nil {
+		forensicsDir = ForensicsDir(cache.Dir())
+	}
 	task := func(tctx context.Context, i int) (*Result, error) {
 		res, fail := runOneTrial(tctx, gen, i)
 		if fail != nil {
+			attachForensics(fail, forensicsDir)
 			return nil, fail
 		}
 		return res, nil
@@ -406,7 +419,19 @@ func runOneTrial(ctx context.Context, gen Generator, trial int) (res *Result, fa
 	haveScenario = true
 	res, err = RunContext(ctx, s)
 	if err != nil {
-		return nil, &TrialFailure{Trial: trial, Scenario: s, Seed: s.Seed, Err: err}
+		f := &TrialFailure{Trial: trial, Scenario: s, Seed: s.Seed, Err: err}
+		var pe *invariant.PanicError
+		if errors.As(err, &pe) {
+			// A guarded run converts internal panics into structured
+			// PanicErrors before they reach the recover above; classify
+			// them identically (same Panicked flag and PanicValue) so
+			// aggregates digest the same with guards on or off.
+			f.Err = fmt.Errorf("%w: %w", ErrTrialPanic, pe)
+			f.Panicked = true
+			f.PanicValue = pe.Value
+			f.Stack = pe.Stack
+		}
+		return nil, f
 	}
 	return res, nil
 }

@@ -1,0 +1,68 @@
+package invariant
+
+// Delta-debugging scenario minimization. The algorithm is generic over
+// the scenario type so this leaf package needs no knowledge of the
+// experiment harness; the harness supplies the reduction passes and the
+// trial runner.
+
+// DefaultShrinkRuns bounds how many candidate trials a shrink may
+// execute when the caller passes maxRuns <= 0.
+const DefaultShrinkRuns = 256
+
+// ShrinkStats reports the work a Shrink call performed.
+type ShrinkStats struct {
+	// Runs is the number of candidate trials executed.
+	Runs int `json:"runs"`
+	// Accepted counts candidates that reproduced the signature and
+	// became the new current scenario.
+	Accepted int `json:"accepted"`
+	// Signature is the failure signature being preserved.
+	Signature string `json:"signature"`
+}
+
+// Shrink greedily minimizes a failing scenario while preserving its
+// failure signature. Each pass proposes strictly smaller candidates
+// derived from the current scenario (remove a node, remove a link, drop
+// a fault-plan phase, halve a budget); run executes a candidate and
+// returns its failure signature ("" for a clean run). The first
+// candidate that reproduces the signature is accepted and the pass list
+// restarts from the top, so earlier (more aggressive) passes get first
+// try against every intermediate scenario. The walk is fully
+// deterministic: passes must enumerate candidates in a stable order, and
+// run must be a deterministic trial.
+//
+// Shrink stops when no pass yields an accepted candidate (a local
+// minimum) or after maxRuns trials (DefaultShrinkRuns when <= 0). The
+// initial scenario is assumed to reproduce the signature; callers verify
+// that separately so a non-reproducing bundle is reported as such rather
+// than silently returned unshrunk.
+func Shrink[T any](initial T, signature string, run func(T) string, passes []func(T) []T, maxRuns int) (T, ShrinkStats) {
+	if maxRuns <= 0 {
+		maxRuns = DefaultShrinkRuns
+	}
+	stats := ShrinkStats{Signature: signature}
+	cur := initial
+	for {
+		accepted := false
+		for _, pass := range passes {
+			for _, cand := range pass(cur) {
+				if stats.Runs >= maxRuns {
+					return cur, stats
+				}
+				stats.Runs++
+				if run(cand) == signature {
+					cur = cand
+					stats.Accepted++
+					accepted = true
+					break
+				}
+			}
+			if accepted {
+				break
+			}
+		}
+		if !accepted {
+			return cur, stats
+		}
+	}
+}

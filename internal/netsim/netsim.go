@@ -47,6 +47,27 @@ type Stats struct {
 	Lost      int // in-flight messages destroyed by a link failure
 }
 
+// Tap observes every message and session transition on the network. It
+// is the invariant guard layer's view of the transport: callbacks fire
+// at the virtual instant of the event, before the corresponding handler
+// callbacks, and must be observation-only — a tap never sends, schedules,
+// or mutates network state. Message ids come from the network-wide send
+// counter, so ids on one directed channel are assigned in send order.
+type Tap interface {
+	// MessageSent fires when Send accepts a message for delivery.
+	MessageSent(from, to topology.Node, id uint64)
+	// MessageDelivered fires when a message reaches its endpoint (even
+	// if no handler is attached there).
+	MessageDelivered(from, to topology.Node, id uint64)
+	// MessageLost fires for each in-flight message destroyed by a link
+	// failure.
+	MessageLost(a, b topology.Node, id uint64)
+	// SessionDown fires when link (a, b) fails, before PeerDown.
+	SessionDown(a, b topology.Node)
+	// SessionUp fires when link (a, b) is restored, before PeerUp.
+	SessionUp(a, b topology.Node)
+}
+
 // Network connects handlers according to a topology graph and delivers
 // payloads between them with per-link delay.
 type Network struct {
@@ -63,6 +84,7 @@ type Network struct {
 	nextID   uint64
 
 	stats Stats
+	tap   Tap
 }
 
 // New creates a network over g with the given per-link propagation delay
@@ -94,6 +116,9 @@ func (n *Network) LinkDelay() time.Duration { return n.delay }
 
 // Stats returns a snapshot of the message counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// SetTap installs (or, with nil, removes) the observation tap.
+func (n *Network) SetTap(t Tap) { n.tap = t }
 
 // LinkUp reports whether the (a, b) link exists and has not failed.
 func (n *Network) LinkUp(a, b topology.Node) bool {
@@ -132,11 +157,17 @@ func (n *Network) Send(from, to topology.Node, payload any) error {
 	}
 	n.inflight[e][id] = h
 	n.stats.Sent++
+	if n.tap != nil {
+		n.tap.MessageSent(from, to, id)
+	}
 	return nil
 }
 
 func (n *Network) deliver(e topology.Edge, id uint64, from, to topology.Node, payload any) {
 	delete(n.inflight[e], id)
+	if n.tap != nil {
+		n.tap.MessageDelivered(from, to, id)
+	}
 	h := n.handlers[to]
 	if h == nil {
 		return
@@ -252,6 +283,9 @@ func (n *Network) restoreLinkNow(a, b topology.Node) {
 		return
 	}
 	delete(n.down, e)
+	if n.tap != nil {
+		n.tap.SessionUp(e.A, e.B)
+	}
 	if h := n.handlers[e.A]; h != nil {
 		h.PeerUp(e.B)
 	}
@@ -271,8 +305,14 @@ func (n *Network) failLinkNow(a, b topology.Node) {
 	for _, id := range sortedmap.Keys(n.inflight[e]) {
 		if n.inflight[e][id].Cancel() {
 			n.stats.Lost++
+			if n.tap != nil {
+				n.tap.MessageLost(e.A, e.B, id)
+			}
 		}
 		delete(n.inflight[e], id)
+	}
+	if n.tap != nil {
+		n.tap.SessionDown(e.A, e.B)
 	}
 	if h := n.handlers[e.A]; h != nil {
 		h.PeerDown(e.B)

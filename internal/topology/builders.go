@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"bgploop/internal/invariant"
+)
 
 // Clique returns the full mesh on n nodes (Figure 3a of the paper), the
 // standard basis topology for T_down convergence analysis.
@@ -143,18 +147,20 @@ func Figure2Loop(m, k int) *Graph {
 // mustAddEdge adds an edge that is valid by construction; builders control
 // both endpoints so a failure here is a bug in the builder itself.
 //
-// Panic justification (robustness audit): AddEdge fails only for
+// Unreachability justification (robustness audit): AddEdge fails only for
 // out-of-range endpoints, self-loops, or duplicate edges. Every caller is
 // a deterministic topology builder in this file that computes endpoints
 // from the graph size it just allocated, so no user input can reach this
 // path — only an arithmetic bug in a builder. The builders' exported
 // signatures intentionally return *Graph without an error (they are used
-// in expression position throughout the scenario constructors); a loud
-// panic at the exact broken edge is strictly more debuggable than
-// threading an impossible error through every call site. User-supplied
-// edges go through Graph.AddEdge / ReadEdgeList, which return errors.
+// in expression position throughout the scenario constructors); failing
+// loudly at the exact broken edge is strictly more debuggable than
+// threading an impossible error through every call site, and routing the
+// panic through invariant.Unreachable gives trial recovery a stable,
+// shrinkable failure signature. User-supplied edges go through
+// Graph.AddEdge / ReadEdgeList, which return errors.
 func mustAddEdge(g *Graph, a, b Node) {
 	if err := g.AddEdge(a, b); err != nil {
-		panic(err)
+		invariant.Unreachable("topology-must-add-edge", err.Error())
 	}
 }
