@@ -30,6 +30,7 @@ import (
 	"bgploop/internal/invariant"
 	"bgploop/internal/metrics"
 	"bgploop/internal/report"
+	"bgploop/internal/safety"
 	"bgploop/internal/sweep"
 	"bgploop/internal/topology"
 	"bgploop/internal/wire"
@@ -66,6 +67,7 @@ func run(args []string) error {
 		cacheDir  = fs.String("cache-dir", "", "content-addressed result cache; unchanged trials are served from disk instead of re-simulated")
 		resume    = fs.Bool("resume", false, "resume an interrupted sweep from its checkpoint journal (requires -cache-dir)")
 		guardF    = fs.String("guard", "", "runtime invariant guard cadence: off, phase, every-n, full (default: $BGPSIM_GUARD, else off)")
+		preflight = fs.String("preflight", "", "static safety analysis before simulating: warn (report and continue) or strict (refuse UNSAFE scenarios); SAFE runs get a finite watchdog horizon derived from the static bound")
 		shrinkF   = fs.String("shrink", "", "shrink a forensic bundle file to a minimal reproducing scenario spec and exit")
 		shrinkOut = fs.String("shrink-out", "", "write the shrunk scenario spec to this file instead of stdout")
 		shrinkN   = fs.Int("shrink-runs", 0, "cap on candidate trials executed by -shrink (0 = library default)")
@@ -115,6 +117,28 @@ func run(args []string) error {
 	if (*wireDump != "" || *mrtDump != "") && scenario.TraceLimit == 0 {
 		scenario.TraceLimit = 1 << 20
 	}
+	if *preflight != "" {
+		if *preflight != "warn" && *preflight != "strict" {
+			return fmt.Errorf("-preflight %q: want warn or strict", *preflight)
+		}
+		rep, err := experiment.PreflightVerdict(scenario)
+		if err != nil {
+			return fmt.Errorf("preflight: %w", err)
+		}
+		switch rep.Verdict {
+		case safety.Unsafe:
+			if *preflight == "strict" {
+				return fmt.Errorf("preflight: scenario is statically UNSAFE — %s\n%s\n(re-run without -preflight strict to simulate anyway)", rep.Reason, rep.Wheel)
+			}
+			fmt.Fprintf(os.Stderr, "bgpsim: warning: scenario is statically UNSAFE — %s\n%s\n", rep.Reason, rep.Wheel)
+		case safety.Unknown:
+			fmt.Fprintf(os.Stderr, "bgpsim: preflight: verdict UNKNOWN — %s\n", rep.Reason)
+		case safety.Safe:
+			fmt.Fprintf(os.Stderr, "bgpsim: preflight: SAFE (%s); watchdog horizon %v\n",
+				rep.Proof, experiment.StaticConvergenceBound(scenario))
+			scenario = experiment.WithStaticBound(scenario, rep)
+		}
+	}
 
 	if *trials > 1 || *cacheDir != "" || *resume {
 		if *compare || *showTrace > 0 || *wireDump != "" || *mrtDump != "" || *showLoops {
@@ -123,7 +147,7 @@ func run(args []string) error {
 		if *resume && *cacheDir == "" {
 			return fmt.Errorf("-resume needs -cache-dir (or set an explicit journal via the library API)")
 		}
-		return runSweep(ctx, scenario, *trials, *workers, *cacheDir, *resume, *csv, *jsonOut)
+		return runSweep(ctx, scenario, *trials, *workers, *cacheDir, *resume, *csv, *jsonOut, *preflight != "")
 	}
 
 	if *compare {
@@ -258,12 +282,13 @@ func runShrink(path, outPath string, maxRuns int) error {
 // runSweep fans trials of the scenario (seeds seed, seed+1, ...) across
 // the parallel executor and prints the aggregate. The output is
 // byte-identical at every -j width.
-func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, cacheDir string, resume bool, csv, jsonOut bool) error {
+func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, cacheDir string, resume bool, csv, jsonOut, preflight bool) error {
 	agg, _, stats, err := experiment.RunSweep(experiment.Repeat(s), trials, experiment.SweepOptions{
-		Workers:  workers,
-		CacheDir: cacheDir,
-		Resume:   resume,
-		Context:  ctx,
+		Workers:   workers,
+		CacheDir:  cacheDir,
+		Resume:    resume,
+		Context:   ctx,
+		Preflight: preflight,
 	})
 	if err != nil {
 		return err

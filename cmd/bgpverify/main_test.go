@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runVerify(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+// TestClique30UnderOneSecond pins the acceptance criterion from the
+// static-analysis design: verifying a 30-node clique completes in well
+// under a second because the shortest-path fast path never materializes
+// the exponential permitted-path universe (and never instantiates the
+// DES kernel).
+func TestClique30UnderOneSecond(t *testing.T) {
+	start := time.Now()
+	out, _, err := runVerify(t, "-topo", "clique", "-size", "30", "-require", "safe")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if elapsed >= time.Second {
+		t.Fatalf("clique-30 verification took %v, want < 1s", elapsed)
+	}
+	if !strings.Contains(out, "clique-30-tdown: SAFE (increasing-ranking)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestGadgetUnsafeWithWheel(t *testing.T) {
+	out, _, err := runVerify(t, "-gadget", "-require", "unsafe")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "BAD GADGET: UNSAFE") {
+		t.Fatalf("missing UNSAFE verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "dispute wheel, 3 pivot(s)") {
+		t.Fatalf("missing wheel witness:\n%s", out)
+	}
+}
+
+func TestRequireMismatchFails(t *testing.T) {
+	_, _, err := runVerify(t, "-gadget", "-require", "safe")
+	if err == nil || !strings.Contains(err.Error(), "verdict requirement failed") {
+		t.Fatalf("want requirement failure, got %v", err)
+	}
+}
+
+// TestExampleSpecs keeps the checked-in example scenario specs loading
+// and statically SAFE — the same invariant CI asserts.
+func TestExampleSpecs(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read specs dir: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		found++
+	}
+	if found == 0 {
+		t.Fatal("no example specs found")
+	}
+	out, _, err := runVerify(t, "-require", "safe", dir)
+	if err != nil {
+		t.Fatalf("run over %s: %v\n%s", dir, err, out)
+	}
+	if got := strings.Count(out, ": SAFE"); got != found {
+		t.Fatalf("want %d SAFE verdicts, got %d:\n%s", found, got, out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, _, err := runVerify(t, "-gadget", "-candidates", "-json")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var reports []struct {
+		Name   string `json:"name"`
+		Report struct {
+			Verdict string `json:"verdict"`
+			Wheel   *struct {
+				Pivots []json.RawMessage `json:"pivots"`
+			} `json:"wheel"`
+			Candidates []json.RawMessage `json:"candidates"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("parse JSON output: %v\n%s", err, out)
+	}
+	if len(reports) != 1 || reports[0].Name != "BAD GADGET" {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+	r := reports[0].Report
+	if r.Verdict != "UNSAFE" || r.Wheel == nil || len(r.Wheel.Pivots) != 3 {
+		t.Fatalf("unexpected gadget report: %+v", r)
+	}
+	if len(r.Candidates) == 0 {
+		t.Fatal("candidates requested but absent from JSON")
+	}
+}
+
+func TestCandidateRendering(t *testing.T) {
+	out, _, err := runVerify(t, "-topo", "clique", "-size", "4", "-candidates", "-max-candidates", "2")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "transient-loop candidates: 6 pair(s)") {
+		t.Fatalf("missing candidate stats:\n%s", out)
+	}
+	if !strings.Contains(out, "... 4 more") {
+		t.Fatalf("missing truncation note:\n%s", out)
+	}
+}
+
+func TestBadFlagCombos(t *testing.T) {
+	if _, _, err := runVerify(t); err == nil {
+		t.Fatal("no targets should fail")
+	}
+	if _, _, err := runVerify(t, "-require", "maybe", "-gadget"); err == nil {
+		t.Fatal("bad -require value should fail")
+	}
+	if _, _, err := runVerify(t, "-topo", "moebius"); err == nil {
+		t.Fatal("unknown topology should fail")
+	}
+}

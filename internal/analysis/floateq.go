@@ -17,7 +17,7 @@ func FloatEqAnalyzer() *Analyzer {
 		Name: "floateq",
 		Doc: "flag exact ==/!= comparison of floating-point values in\n" +
 			"metrics/figures code; compare against a tolerance instead",
-		Match: inPackages(union(figurePackages, harnessPackages)...),
+		Match: inPackages(union(figurePackages, harnessPackages, staticPackages)...),
 	}
 	a.Run = func(pass *Pass) error {
 		for _, file := range pass.Files {

@@ -26,7 +26,7 @@ func MapRangeAnalyzer() *Analyzer {
 		Name: "maprange",
 		Doc: "flag order-sensitive `range` over maps in simulation packages;\n" +
 			"iterate via internal/core/sortedmap instead",
-		Match: inPackages(union(simPackages, harnessPackages)...),
+		Match: inPackages(union(simPackages, harnessPackages, staticPackages)...),
 	}
 	a.Run = func(pass *Pass) error {
 		for _, file := range pass.Files {

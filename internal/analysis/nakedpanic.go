@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NakedPanicAnalyzer forbids bare panic(...) calls in simulation and
+// static-analysis packages. The one sanctioned way to abort on an
+// impossible state is invariant.Unreachable, which panics with a
+// *invariant.UnreachableError — the value the forensics layer
+// recognises, classifies, and turns into a replayable failure bundle. A
+// panic carrying any other value kills a trial with nothing but a stack
+// trace: no scenario spec, no shrink, no classification.
+//
+// The rule is enforced on the panic *argument type*, not the call site:
+// panicking with a *UnreachableError (normally only invariant.go itself,
+// inside the Unreachable funnel) is allowed, anything else is flagged.
+// Test files are exempt — tests legitimately panic to probe recovery
+// paths.
+func NakedPanicAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "nakedpanic",
+		Doc: "forbid panic() with anything but *invariant.UnreachableError in\n" +
+			"simulation and static-analysis packages; abort only through\n" +
+			"invariant.Unreachable so failures stay classifiable",
+		Match: inPackages(union(simPackages, staticPackages)...),
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := call.Fun.(*ast.Ident)
+				if !ok || ident.Name != "panic" {
+					return true
+				}
+				if _, builtin := pass.TypesInfo.Uses[ident].(*types.Builtin); !builtin {
+					return true // shadowed identifier, not the builtin
+				}
+				if len(call.Args) == 1 && isUnreachableError(pass.TypesInfo.TypeOf(call.Args[0])) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "naked panic aborts the trial unclassified; use invariant.Unreachable")
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isUnreachableError reports whether t is a pointer to a named type
+// called UnreachableError. Matching by name rather than by package path
+// keeps fixture tests self-contained; in scoped packages the only such
+// type is invariant.UnreachableError.
+func isUnreachableError(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "UnreachableError"
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestNakedPanic(t *testing.T) {
+	RunFixture(t, NakedPanicAnalyzer(), "testdata/nakedpanic")
+}
+
+func TestNakedPanicScope(t *testing.T) {
+	match := NakedPanicAnalyzer().Match
+	for _, rel := range []string{
+		"internal/des", "internal/bgp", "internal/netsim", "internal/dataplane",
+		"internal/experiment", "internal/faultplan", "internal/invariant",
+		"internal/safety",
+	} {
+		if !match(rel) {
+			t.Errorf("nakedpanic should cover %s", rel)
+		}
+	}
+	for _, rel := range []string{"", "cmd/bgpsim", "internal/figures", "internal/analysis", "internal/sweep"} {
+		if match(rel) {
+			t.Errorf("nakedpanic should not cover %q", rel)
+		}
+	}
+}

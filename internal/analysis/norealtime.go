@@ -21,7 +21,7 @@ func NoRealTimeAnalyzer() *Analyzer {
 		Name: "norealtime",
 		Doc: "forbid wall-clock access (time.Now, time.Since, time.Sleep, timers)\n" +
 			"in simulation packages; sim code must use the DES virtual clock",
-		Match: inPackages(union(simPackages, harnessPackages)...),
+		Match: inPackages(union(simPackages, harnessPackages, staticPackages)...),
 	}
 	a.Run = func(pass *Pass) error {
 		for _, file := range pass.Files {

@@ -34,6 +34,11 @@ var (
 	// goroutines: each trial below them is still a single-threaded DES
 	// run, and the executor merges results by trial index.
 	harnessPackages = []string{"internal/sweep"}
+	// staticPackages analyse scenario configs without running the kernel;
+	// their verdicts are cached content-addressed, so they are held to the
+	// same determinism bar as the simulation itself (a map-order-dependent
+	// wheel search would cache different witnesses across runs).
+	staticPackages = []string{"internal/safety"}
 )
 
 // union concatenates package scopes for analyzers that span several.
@@ -64,6 +69,7 @@ func DefaultAnalyzers() []*Analyzer {
 		MapRangeAnalyzer(),
 		NoConcurrencyAnalyzer(),
 		FloatEqAnalyzer(),
+		NakedPanicAnalyzer(),
 	}
 }
 

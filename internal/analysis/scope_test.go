@@ -37,3 +37,26 @@ func TestHarnessScopeDeterminismAnalyzers(t *testing.T) {
 		t.Errorf("%s does not cover internal/sweep", a.Name)
 	}
 }
+
+// TestStaticScopeDeterminismAnalyzers pins internal/safety inside the
+// determinism contract. Safety verdicts are cached by content address
+// and replayed across seed sweeps; a wall-clock read, map-order
+// iteration, float equality, or global-rand call there would make the
+// cached witness depend on the run that produced it.
+func TestStaticScopeDeterminismAnalyzers(t *testing.T) {
+	for _, a := range []*Analyzer{
+		NoRealTimeAnalyzer(), MapRangeAnalyzer(), FloatEqAnalyzer(), NakedPanicAnalyzer(),
+	} {
+		if !a.Match("internal/safety") {
+			t.Errorf("%s does not cover internal/safety", a.Name)
+		}
+	}
+	if a := NoGlobalRandAnalyzer(); a.Match != nil && !a.Match("internal/safety") {
+		t.Errorf("%s does not cover internal/safety", a.Name)
+	}
+	// The static analyzer never enters the DES event loop, so it is not
+	// part of the single-threaded-kernel scope.
+	if NoConcurrencyAnalyzer().Match("internal/safety") {
+		t.Error("noconcurrency covers internal/safety; only kernel packages belong there")
+	}
+}

@@ -1,0 +1,22 @@
+package nakedpanic
+
+import "errors"
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative") // want `naked panic aborts the trial unclassified`
+	}
+	panic(errors.New("boom")) // want `naked panic aborts the trial unclassified`
+}
+
+func repanic() {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(r) // want `naked panic aborts the trial unclassified`
+		}
+	}()
+}
+
+func nilPanic() {
+	panic(nil) // want `naked panic aborts the trial unclassified`
+}

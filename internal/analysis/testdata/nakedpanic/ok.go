@@ -1,0 +1,28 @@
+package nakedpanic
+
+// UnreachableError mirrors invariant.UnreachableError; the analyzer
+// matches the panic argument type by name so the fixture stays
+// self-contained.
+type UnreachableError struct {
+	ID, Detail string
+}
+
+func (e *UnreachableError) Error() string { return e.ID + ": " + e.Detail }
+
+// unreachable is the sanctioned abort funnel: the panic value is a
+// *UnreachableError, which forensics can classify.
+func unreachable(id, detail string) {
+	panic(&UnreachableError{ID: id, Detail: detail})
+}
+
+// shadowed is a local function value named panic; calling it is not the
+// builtin.
+func shadowed() {
+	panic := func(v any) { _ = v }
+	panic("fine")
+}
+
+func allowed() {
+	//detlint:allow nakedpanic exercising the directive machinery
+	panic("explicitly waived")
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"bgploop/internal/bgp"
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// badGadgetPolicy is node i's policy in Griffin's BAD GADGET: the
+// two-hop path through the next ring node is preferred over the direct
+// path, and every other path ranks below both. On a K4 with hub 0 this
+// ranking admits no stable routing — the protocol oscillates forever.
+type badGadgetPolicy struct {
+	next topology.Node
+}
+
+func (p badGadgetPolicy) rank(c routing.Candidate) int {
+	switch {
+	case c.Peer == p.next && c.Path.Len() == 2:
+		return 0
+	case c.Path.Len() == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (p badGadgetPolicy) Better(a, b routing.Candidate) bool {
+	ar, br := p.rank(a), p.rank(b)
+	if ar != br {
+		return ar < br
+	}
+	if a.Path.Len() != b.Path.Len() {
+		return a.Path.Len() < b.Path.Len()
+	}
+	return a.Peer < b.Peer
+}
+
+// BadGadget builds Griffin's canonical no-solution policy dispute:
+// destination 0 at the hub of a K4, ring nodes 1-2-3 each preferring the
+// clockwise neighbor's two-hop path over their direct path. The
+// configuration contains a dispute wheel (pivots 1→2→3) and admits no
+// stable routing: dynamically the run oscillates until maxEvents, and
+// statically Preflight classifies it UNSAFE. MRAI 0 keeps the dispute
+// wheel spinning at full speed.
+//
+// The scenario uses a per-node policy (bgp.Config.PolicyFor), so it is
+// not expressible as a ScenarioSpec file and is not cacheable; it is the
+// repo's reference UNSAFE fixture for tests and for `bgpverify -gadget`.
+func BadGadget(maxEvents uint64) Scenario {
+	cfg := bgp.DefaultConfig()
+	cfg.MRAI = 0
+	next := []topology.Node{0, 2, 3, 1}
+	cfg.PolicyFor = func(self topology.Node) routing.Policy {
+		if self == 0 {
+			return routing.ShortestPath{}
+		}
+		return badGadgetPolicy{next: next[self]}
+	}
+	s := TDownScenario(topology.Clique(4), 0, cfg, 1)
+	s.MaxEvents = maxEvents
+	return s
+}

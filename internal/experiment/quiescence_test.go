@@ -6,61 +6,10 @@ import (
 	"time"
 
 	"bgploop/internal/bgp"
-	"bgploop/internal/routing"
-	"bgploop/internal/topology"
 )
 
-// badGadgetPolicy is node i's policy in Griffin's BAD GADGET: the
-// two-hop path through the next ring node is preferred over the direct
-// path, and every other path ranks below both. On a K4 with hub 0 this
-// ranking admits no stable routing — the protocol oscillates forever.
-type badGadgetPolicy struct {
-	next topology.Node
-}
-
-func (p badGadgetPolicy) rank(c routing.Candidate) int {
-	switch {
-	case c.Peer == p.next && c.Path.Len() == 2:
-		return 0
-	case c.Path.Len() == 1:
-		return 1
-	default:
-		return 2
-	}
-}
-
-func (p badGadgetPolicy) Better(a, b routing.Candidate) bool {
-	ar, br := p.rank(a), p.rank(b)
-	if ar != br {
-		return ar < br
-	}
-	if a.Path.Len() != b.Path.Len() {
-		return a.Path.Len() < b.Path.Len()
-	}
-	return a.Peer < b.Peer
-}
-
-// badGadgetScenario builds the canonical no-solution policy dispute:
-// destination 0 at the hub of a K4, ring nodes 1-2-3 each preferring the
-// clockwise neighbor's two-hop path. MRAI 0 keeps the dispute wheel
-// spinning at full speed.
-func badGadgetScenario(maxEvents uint64) Scenario {
-	cfg := bgp.DefaultConfig()
-	cfg.MRAI = 0
-	next := []topology.Node{0, 2, 3, 1}
-	cfg.PolicyFor = func(self topology.Node) routing.Policy {
-		if self == 0 {
-			return routing.ShortestPath{}
-		}
-		return badGadgetPolicy{next: next[self]}
-	}
-	s := TDownScenario(topology.Clique(4), 0, cfg, 1)
-	s.MaxEvents = maxEvents
-	return s
-}
-
 func TestQuiescenceFailureOscillating(t *testing.T) {
-	_, err := Run(badGadgetScenario(30_000))
+	_, err := Run(BadGadget(30_000))
 	if err == nil {
 		t.Fatal("BAD GADGET quiesced; it must not have a stable solution")
 	}

@@ -277,6 +277,8 @@ func RunContext(ctx context.Context, s Scenario) (res *Result, err error) {
 	horizon := des.Time(math.MaxInt64)
 	if s.Horizon > 0 {
 		horizon = s.Horizon
+	} else if s.staticHorizon > 0 {
+		horizon = s.staticHorizon
 	}
 	budget := s.MaxEvents
 

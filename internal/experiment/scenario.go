@@ -100,6 +100,14 @@ type Scenario struct {
 	// (off/phase/every-n/full) and falls back to Off. Guards are
 	// observation-only: enabling them never changes a run's Result.
 	Guard invariant.Config
+
+	// staticHorizon is a derived watchdog horizon installed by
+	// WithStaticBound for statically-SAFE scenarios. It applies only
+	// when Horizon is zero and is deliberately excluded from CacheKey:
+	// a SAFE scenario converges well inside the bound, so the horizon
+	// is observation-only and results are unchanged — unless it fires,
+	// which indicates a bug in either the static or the dynamic layer.
+	staticHorizon time.Duration
 }
 
 func (s Scenario) withDefaults() Scenario {

@@ -100,6 +100,16 @@ type SweepOptions struct {
 	// Stats, when non-nil, accumulates executor statistics (executed vs
 	// cached vs resumed counts) across sweeps.
 	Stats *sweep.Stats
+	// Preflight runs the static safety analysis (internal/safety) on
+	// every generated scenario before simulating it: statically-UNSAFE
+	// scenarios are refused with ErrStaticallyUnsafe carrying the
+	// dispute-wheel witness, and statically-SAFE scenarios get a finite
+	// quiescence watchdog horizon derived from the static convergence
+	// bound (see WithStaticBound — cache keys and results are
+	// unchanged). Verdicts are memoized per safety content address for
+	// the duration of the sweep and, when CacheDir is set, persisted in
+	// the result cache.
+	Preflight bool
 }
 
 // DefaultMaxFailureRatio is the failure-rate threshold applied when
@@ -226,8 +236,15 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 	if cache != nil {
 		forensicsDir = ForensicsDir(cache.Dir())
 	}
+	// The preflight wrapper rides between key computation and execution:
+	// content addresses come from the unwrapped generator, so journals
+	// and cache objects are identical with preflight on or off.
+	runGen := gen
+	if opts.Preflight {
+		runGen = preflightGenerator(gen, cache)
+	}
 	task := func(tctx context.Context, i int) (*Result, error) {
-		res, fail := runOneTrial(tctx, gen, i)
+		res, fail := runOneTrial(tctx, runGen, i)
 		if fail != nil {
 			attachForensics(fail, forensicsDir)
 			return nil, fail

@@ -21,7 +21,7 @@ func faultySweepGen(trial int) (Scenario, error) {
 		}
 		return s, nil
 	case 3:
-		s := badGadgetScenario(20_000)
+		s := BadGadget(20_000)
 		s.Seed = int64(trial)
 		return s, nil
 	default:

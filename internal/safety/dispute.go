@@ -1,0 +1,272 @@
+package safety
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// The dispute digraph is built over states (v, Q) with Q ∈ U(v): "node v
+// currently holds spoke path Q". There is an arc (u, Q_u) → (v, Q_v)
+// exactly when some permitted path W ∈ U(u) decomposes as W = R·Q_v
+// (Q_v is the proper suffix of W starting at v) and u weakly prefers W
+// over Q_u. A directed cycle of such arcs is precisely a dispute wheel
+// in the sense of Griffin–Shepherd–Wilfong: the cycle's states are the
+// pivots u_i with spoke paths Q_i, and the witnessing W_i = R_i·Q_{i+1}
+// satisfy λ(R_i·Q_{i+1}) ≥ λ(Q_i). Conversely every dispute wheel over
+// the universe induces such a cycle, because permitted paths are simple
+// and every suffix of a permitted path is permitted. So:
+//
+//	complete universe + acyclic digraph ⇒ no dispute wheel ⇒ SAFE
+//	any cycle                           ⇒ concrete wheel   ⇒ UNSAFE
+//
+// A fully tie-degenerate cycle (Q_i = R_i·Q_{i+1} for all i) cannot
+// occur — the lengths would telescope to Σ|R_i| = 0 with nonempty rims —
+// so every cycle yields a genuine wheel.
+
+// WheelPivot is one pivot of a dispute wheel: the node, its spoke path
+// Q (a permitted path it can fall back to), the rim R leading to the
+// next pivot, and the preferred path R·Q_next it ranks at least as high
+// as its spoke.
+type WheelPivot struct {
+	Node      topology.Node `json:"node"`
+	Spoke     routing.Path  `json:"spoke"`
+	Rim       routing.Path  `json:"rim"`
+	Preferred routing.Path  `json:"preferred"`
+}
+
+// Wheel is a dispute-wheel witness: pivots in cycle order, each pivot's
+// Preferred path ending in the next pivot's Spoke.
+type Wheel struct {
+	Pivots []WheelPivot `json:"pivots"`
+}
+
+// String renders the wheel witness for CLI and log output.
+func (w *Wheel) String() string {
+	if w == nil || len(w.Pivots) == 0 {
+		return "<empty wheel>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "dispute wheel, %d pivot(s):", len(w.Pivots))
+	for i, p := range w.Pivots {
+		next := w.Pivots[(i+1)%len(w.Pivots)]
+		fmt.Fprintf(&b, "\n  pivot %d: spoke %s, but ranks %s >= spoke (rim %s to pivot %d)",
+			p.Node, p.Spoke, p.Preferred, p.Rim, next.Node)
+	}
+	return b.String()
+}
+
+// Verify re-derives the wheel's defining conditions against a freshly
+// built universe for in: every spoke and preferred path is permitted at
+// its pivot, Preferred = Rim · next Spoke, and the pivot's policy
+// weakly prefers Preferred over Spoke. It returns nil when the witness
+// is genuine.
+func (w *Wheel) Verify(in Input) error {
+	if w == nil || len(w.Pivots) == 0 {
+		return errors.New("safety: empty wheel")
+	}
+	u := buildUniverse(in)
+	for i, p := range w.Pivots {
+		next := w.Pivots[(i+1)%len(w.Pivots)]
+		if p.Spoke.First() != p.Node {
+			return fmt.Errorf("pivot %d: spoke %s does not start at the pivot", p.Node, p.Spoke)
+		}
+		if u.Index(p.Node, p.Spoke) < 0 {
+			return fmt.Errorf("pivot %d: spoke %s not in permitted universe", p.Node, p.Spoke)
+		}
+		if u.Index(p.Node, p.Preferred) < 0 {
+			return fmt.Errorf("pivot %d: preferred %s not in permitted universe", p.Node, p.Preferred)
+		}
+		if len(p.Rim) == 0 {
+			return fmt.Errorf("pivot %d: empty rim", p.Node)
+		}
+		want := append(p.Rim.Clone(), next.Spoke...)
+		if !p.Preferred.Equal(want) {
+			return fmt.Errorf("pivot %d: preferred %s != rim %s + next spoke %s",
+				p.Node, p.Preferred, p.Rim, next.Spoke)
+		}
+		if !weaklyPrefers(in.policyAt(p.Node), p.Preferred, p.Spoke) {
+			return fmt.Errorf("pivot %d: policy strictly prefers spoke %s over %s",
+				p.Node, p.Spoke, p.Preferred)
+		}
+	}
+	return nil
+}
+
+// state identifies a dispute-digraph state (node, spoke index).
+type state struct {
+	node topology.Node
+	path int // index into Universe.Paths[node]
+}
+
+// arcInfo records how an arc was witnessed so the wheel can be
+// reconstructed: the witness path W ∈ U(from.node) and the rim length
+// (W[:rimLen] is the rim, W[rimLen:] the target spoke).
+type arcInfo struct {
+	to      int // target state id
+	witness routing.Path
+	rimLen  int
+}
+
+// findWheel builds the dispute digraph over the universe and searches
+// it for a cycle. On a cycle it reconstructs and returns the wheel
+// witness plus a printable cycle description; otherwise both returns
+// are nil/"". Construction and search are fully deterministic.
+func findWheel(in Input, u *Universe) (*Wheel, string) {
+	// Canonical state numbering: nodes ascending, paths in canonical
+	// per-node order.
+	ids := map[topology.Node]int{} // node -> id of its first state
+	idx := map[topology.Node]map[string]int{}
+	var nodes []topology.Node
+	total := 0
+	for _, v := range in.Graph.Nodes() {
+		ps := u.Paths[v]
+		if len(ps) == 0 {
+			continue
+		}
+		ids[v] = total
+		nodes = append(nodes, v)
+		m := make(map[string]int, len(ps))
+		for i, p := range ps {
+			m[p.String()] = i
+		}
+		idx[v] = m
+		total += len(ps)
+	}
+	u.Stats.States = total
+
+	arcs := make([][]arcInfo, total)
+	for _, v := range nodes {
+		pol := in.policyAt(v)
+		ps := u.Paths[v]
+		for _, w := range ps {
+			// Each proper suffix of w starting at an intermediate node
+			// t is a potential target spoke (skip the trivial suffix at
+			// the destination: the destination never changes route and
+			// cannot pivot).
+			for j := 1; j < len(w)-1; j++ {
+				t := w[j]
+				spoke := routing.Path(w[j:])
+				ti, ok := idx[t][spoke.String()]
+				if !ok {
+					continue // suffix pruned by truncation
+				}
+				target := ids[t] + ti
+				for pi, p := range ps {
+					if !weaklyPrefers(pol, w, p) {
+						continue
+					}
+					src := ids[v] + pi
+					arcs[src] = append(arcs[src], arcInfo{to: target, witness: w, rimLen: j})
+					u.Stats.Arcs++
+				}
+			}
+		}
+	}
+
+	cycle := findCycle(arcs)
+	if cycle == nil {
+		return nil, ""
+	}
+
+	// Reconstruct the wheel from the state cycle. revNodes[id] maps a
+	// state id back to (node, path index).
+	revNode := make([]topology.Node, total)
+	for _, v := range nodes {
+		for i := range u.Paths[v] {
+			revNode[ids[v]+i] = v
+		}
+	}
+	wheel := &Wheel{}
+	var desc []string
+	for i, src := range cycle {
+		dst := cycle[(i+1)%len(cycle)]
+		v := revNode[src]
+		spoke := u.Paths[v][src-ids[v]]
+		var ai *arcInfo
+		for k := range arcs[src] {
+			if arcs[src][k].to == dst {
+				ai = &arcs[src][k]
+				break
+			}
+		}
+		if ai == nil {
+			return nil, fmt.Sprintf("internal: cycle arc %d->%d missing", src, dst)
+		}
+		wheel.Pivots = append(wheel.Pivots, WheelPivot{
+			Node:      v,
+			Spoke:     spoke.Clone(),
+			Rim:       routing.Path(ai.witness[:ai.rimLen]).Clone(),
+			Preferred: ai.witness.Clone(),
+		})
+		desc = append(desc, fmt.Sprintf("%d:%s", v, spoke))
+	}
+	return wheel, strings.Join(desc, " -> ")
+}
+
+// findCycle returns the first directed cycle found by a deterministic
+// iterative DFS over the arc lists (states in ascending id order, arcs
+// in insertion order), as the list of state ids in cycle order, or nil.
+func findCycle(arcs [][]arcInfo) []int {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	n := len(arcs)
+	color := make([]int, n)
+	parentOf := make([]int, n) // DFS tree parent state, -1 at roots
+	type frame struct {
+		v, idx int
+	}
+	for start := 0; start < n; start++ {
+		if color[start] != unvisited {
+			continue
+		}
+		color[start] = onStack
+		parentOf[start] = -1
+		stack := []frame{{v: start}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(arcs[f.v]) {
+				to := arcs[f.v][f.idx].to
+				f.idx++
+				switch color[to] {
+				case onStack:
+					// Found a cycle: walk tree parents from f.v back
+					// to `to`.
+					cycle := []int{to}
+					for v := f.v; v != to; v = parentOf[v] {
+						cycle = append(cycle, v)
+					}
+					// cycle is in reverse order (to, ..., child-of-to);
+					// reverse so arcs run forward.
+					for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					// Now cycle is (child-of-to, ..., f.v, to) — rotate
+					// so it starts at `to` and follows arcs.
+					for i := range cycle {
+						if cycle[i] == to {
+							out := append([]int{}, cycle[i:]...)
+							out = append(out, cycle[:i]...)
+							return out
+						}
+					}
+					return cycle
+				case unvisited:
+					color[to] = onStack
+					parentOf[to] = f.v
+					stack = append(stack, frame{v: to})
+				}
+				continue
+			}
+			color[f.v] = done
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}

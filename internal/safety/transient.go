@@ -1,0 +1,447 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bgploop/internal/routing"
+	"bgploop/internal/topology"
+)
+
+// Transient-loop candidate analysis. A transient forwarding loop forms
+// when a node u falls back to a less-preferred path whose next hop v
+// still ranks a (now stale) path through u itself — the paper's
+// structural mechanism for MRAI-governed micro-loops. Both conditions
+// are static properties of the permitted-path universe, so candidates
+// can be enumerated before any simulation.
+//
+// The enumeration works on a sound over-approximation that needs no
+// path enumeration: the (node, learned-from) advert digraph. State
+// (w, l) means "w may hold an export-permitted route to the destination
+// learned from neighbor l" (l = topology.None for the destination
+// itself); there is an arc (w, l) → (x, w) when x is a neighbor of w
+// other than l and the destination, and the export policy lets w
+// advertise a route learned from l to x. Every permitted path is a
+// chain of such states, so advert-digraph reachability over-
+// approximates path permission; it relaxes only the simple-path
+// requirement (a relaxation that can add, never drop, candidates, and
+// can make a representative path revisit a node).
+//
+// The permitted forwarding digraph H has an arc u → v when v can be a
+// permitted next hop of u: v holds a route that avoids u entirely
+// (poison reverse) and may export it to u. Every FIB entry the
+// simulator ever installs derives from a route permitted in the
+// pre-failure graph, so every dynamically observed forwarding loop must
+// traverse arcs of H — the guarantee the differential test checks.
+
+// Candidate is one statically-enumerated transient-loop candidate: node
+// u may fall back to a path via next hop v while v ranks a path through
+// u. Fallback and Conflict are shortest representatives (illustrative;
+// other permitted paths may witness the same pair).
+type Candidate struct {
+	// Node is u, the node falling back.
+	Node topology.Node `json:"node"`
+	// NextHop is v, the fallback path's next hop.
+	NextHop topology.Node `json:"nextHop"`
+	// Fallback is a representative permitted fallback path of u via v.
+	Fallback routing.Path `json:"fallback"`
+	// Conflict is a representative permitted path of v through u.
+	Conflict routing.Path `json:"conflict"`
+	// Mutual marks the paper's Figure 1(b) shape: v can rank a
+	// conflicting path with u as its direct next hop, so u and v point
+	// at each other.
+	Mutual bool `json:"mutual"`
+	// SSLDEliminates marks candidates sender-side loop detection
+	// provably eliminates: for mutual candidates u's announcement to v
+	// is replaced by an explicit withdrawal, so v's stale route dies
+	// instead of lingering as a ghost (immediately so under
+	// SSLDImmediate).
+	SSLDEliminates bool `json:"ssldEliminates"`
+	// AssertionEliminates marks candidates the Assertion enhancement
+	// provably eliminates: v can rank a conflicting path through u
+	// deeper than the first hop (learned from a third party), which
+	// u's first direct update to v invalidates by consistency.
+	AssertionEliminates bool `json:"assertionEliminates"`
+	// Suppressed reports whether the scenario's active enhancements
+	// eliminate this candidate.
+	Suppressed bool `json:"suppressed"`
+}
+
+// String renders the candidate for CLI output.
+func (c Candidate) String() string {
+	var tags []string
+	if c.Mutual {
+		tags = append(tags, "mutual")
+	}
+	if c.SSLDEliminates {
+		tags = append(tags, "ssld-eliminates")
+	}
+	if c.AssertionEliminates {
+		tags = append(tags, "assertion-eliminates")
+	}
+	if c.Suppressed {
+		tags = append(tags, "suppressed")
+	}
+	tag := ""
+	if len(tags) > 0 {
+		tag = " [" + strings.Join(tags, " ") + "]"
+	}
+	return fmt.Sprintf("node %d falls back to %s while next hop %d ranks %s%s",
+		c.Node, c.Fallback, c.NextHop, c.Conflict, tag)
+}
+
+// CandidateStats summarises a candidate enumeration.
+type CandidateStats struct {
+	// Pairs is the number of (node, next-hop) candidate pairs.
+	Pairs int `json:"pairs"`
+	// Mutual counts Figure 1(b)-style mutual pairs.
+	Mutual int `json:"mutual"`
+	// SSLDEliminable and AssertionEliminable count candidates each
+	// enhancement would eliminate (regardless of the active config).
+	SSLDEliminable      int `json:"ssldEliminable"`
+	AssertionEliminable int `json:"assertionEliminable"`
+	// Suppressed counts candidates the scenario's active enhancements
+	// eliminate.
+	Suppressed int `json:"suppressed"`
+}
+
+func summarize(cs []Candidate) CandidateStats {
+	var s CandidateStats
+	s.Pairs = len(cs)
+	for _, c := range cs {
+		if c.Mutual {
+			s.Mutual++
+		}
+		if c.SSLDEliminates {
+			s.SSLDEliminable++
+		}
+		if c.AssertionEliminates {
+			s.AssertionEliminable++
+		}
+		if c.Suppressed {
+			s.Suppressed++
+		}
+	}
+	return s
+}
+
+// Forwarding is the permitted forwarding digraph H of a scenario (see
+// the package comment above): HasArc(u, v) reports whether v can ever
+// be a permitted next hop of u toward the destination.
+type Forwarding struct {
+	in  Input
+	n   int
+	dst topology.Node
+	arc []bool // n×n, arc[u*n+v]
+}
+
+// NewForwarding builds the permitted forwarding digraph for in.
+func NewForwarding(in Input) (*Forwarding, error) {
+	if in.Graph == nil {
+		return nil, fmt.Errorf("safety: nil topology")
+	}
+	if !in.Graph.Valid(in.Dest) {
+		return nil, fmt.Errorf("safety: destination %d not in topology", in.Dest)
+	}
+	n := in.Graph.NumNodes()
+	f := &Forwarding{in: in, n: n, dst: in.Dest, arc: make([]bool, n*n)}
+	for u := 0; u < n; u++ {
+		un := topology.Node(u)
+		if un == in.Dest {
+			continue // the destination originates; it has no next hop
+		}
+		avoid := f.advertBFS(un)
+		for _, v := range in.Graph.Neighbors(un) {
+			if f.exportableTo(avoid.visited, v, un) {
+				f.arc[u*n+int(v)] = true
+			}
+		}
+	}
+	return f, nil
+}
+
+// HasArc reports whether v can be a permitted next hop of u.
+func (f *Forwarding) HasArc(u, v topology.Node) bool {
+	if u < 0 || v < 0 || int(u) >= f.n || int(v) >= f.n {
+		return false
+	}
+	return f.arc[int(u)*f.n+int(v)]
+}
+
+// MatchLoop reports whether an observed forwarding cycle (nodes in
+// forwarding order, as produced by loopanalysis) is explained by the
+// permitted forwarding digraph: every consecutive hop, wrapping around,
+// must be an arc of H. The second return names the first unexplained
+// hop when the match fails.
+func (f *Forwarding) MatchLoop(cycle []topology.Node) (bool, string) {
+	if len(cycle) < 2 {
+		return false, "cycle too short"
+	}
+	for i, u := range cycle {
+		v := cycle[(i+1)%len(cycle)]
+		if !f.HasArc(u, v) {
+			return false, fmt.Sprintf("hop %d->%d is not a permitted forwarding arc", u, v)
+		}
+	}
+	return true, ""
+}
+
+// bfsResult is an advert-digraph BFS tree: visited states and parent
+// pointers (-1 at the root) for representative-path reconstruction.
+type bfsResult struct {
+	visited []bool
+	parent  []int
+}
+
+// stateID encodes advert-digraph state (w, prev) with prev possibly
+// topology.None.
+func (f *Forwarding) stateID(w, prev topology.Node) int {
+	return int(w)*(f.n+1) + int(prev) + 1
+}
+
+// stateNode decodes the node component of a state id.
+func (f *Forwarding) stateNode(id int) topology.Node {
+	return topology.Node(id / (f.n + 1))
+}
+
+// advertBFS runs a BFS over the advert digraph from (dest, None),
+// skipping every state located at `avoid` (topology.None disables
+// avoidance).
+func (f *Forwarding) advertBFS(avoid topology.Node) bfsResult {
+	size := f.n * (f.n + 1)
+	r := bfsResult{visited: make([]bool, size), parent: make([]int, size)}
+	for i := range r.parent {
+		r.parent[i] = -1
+	}
+	root := f.stateID(f.dst, topology.None)
+	r.visited[root] = true
+	type st struct{ w, prev topology.Node }
+	queue := []st{{f.dst, topology.None}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, x := range f.in.Graph.Neighbors(s.w) {
+			if x == s.prev || x == f.dst || x == avoid {
+				continue
+			}
+			if !f.in.shouldExport(s.w, s.prev, x) {
+				continue
+			}
+			id := f.stateID(x, s.w)
+			if r.visited[id] {
+				continue
+			}
+			r.visited[id] = true
+			r.parent[id] = f.stateID(s.w, s.prev)
+			queue = append(queue, st{x, s.w})
+		}
+	}
+	return r
+}
+
+// exportableTo reports whether some visited state at v may be exported
+// to u (i.e. v holds a permitted route it may advertise to u).
+func (f *Forwarding) exportableTo(visited []bool, v, u topology.Node) bool {
+	if v == f.dst {
+		return f.in.shouldExport(f.dst, topology.None, u)
+	}
+	for _, l := range f.in.Graph.Neighbors(v) {
+		if visited[f.stateID(v, l)] && f.in.shouldExport(v, l, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// treePath reconstructs the held path of a visited state by walking BFS
+// parents: the advert chain dest → … → w reversed into w's path (w
+// first, dest last).
+func (f *Forwarding) treePath(r bfsResult, w, prev topology.Node) routing.Path {
+	var rev []topology.Node
+	for id := f.stateID(w, prev); id >= 0; id = r.parent[id] {
+		rev = append(rev, f.stateNode(id))
+	}
+	return routing.Path(rev)
+}
+
+// EnumerateCandidates lists all transient-loop candidate pairs, sorted
+// by (Node, NextHop).
+func (f *Forwarding) EnumerateCandidates() []Candidate {
+	// Full-graph advert reachability (no avoidance) drives the
+	// "ranks a path through u" side of every candidate.
+	full := f.advertBFS(topology.None)
+	var out []Candidate
+	for u := 0; u < f.n; u++ {
+		un := topology.Node(u)
+		if un == f.dst {
+			continue
+		}
+		hasArc := false
+		for v := 0; v < f.n; v++ {
+			if f.arc[u*f.n+v] {
+				hasArc = true
+				break
+			}
+		}
+		if !hasArc {
+			continue
+		}
+		cl := f.throughClosure(full, un)
+		avoid := f.advertBFS(un)
+		for _, v := range f.in.Graph.Neighbors(un) {
+			if v == f.dst || !f.arc[u*f.n+int(v)] {
+				continue
+			}
+			conflict, mutual, deeper := f.conflictOf(cl, full, v, un)
+			if conflict == nil {
+				continue
+			}
+			c := Candidate{
+				Node:                un,
+				NextHop:             v,
+				Fallback:            f.fallbackVia(avoid, un, v),
+				Conflict:            conflict,
+				Mutual:              mutual,
+				SSLDEliminates:      mutual,
+				AssertionEliminates: deeper,
+			}
+			enh := f.in.Enhancements
+			c.Suppressed = (enh.SSLD && c.SSLDEliminates) ||
+				(enh.Assertion && c.AssertionEliminates)
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].NextHop < out[j].NextHop
+	})
+	return out
+}
+
+// closure is the downstream closure of one node in the advert digraph:
+// states a route advertised by u can reach. Seeds (the states at u) are
+// marked with parent -1; their upstream chains live in the full-graph
+// BFS tree.
+type closure struct {
+	member []bool
+	parent []int
+}
+
+// throughClosure computes the advert states reachable through node u
+// (u != dest): starting from u's full-graph-reachable states, every
+// state a route advertised onward by u can subsequently reach.
+func (f *Forwarding) throughClosure(full bfsResult, u topology.Node) closure {
+	size := f.n * (f.n + 1)
+	cl := closure{member: make([]bool, size), parent: make([]int, size)}
+	for i := range cl.parent {
+		cl.parent[i] = -1
+	}
+	type st struct{ w, prev topology.Node }
+	var queue []st
+	for _, l := range f.in.Graph.Neighbors(u) {
+		id := f.stateID(u, l)
+		if full.visited[id] {
+			cl.member[id] = true
+			queue = append(queue, st{u, l})
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, x := range f.in.Graph.Neighbors(s.w) {
+			if x == s.prev || x == f.dst {
+				continue
+			}
+			if !f.in.shouldExport(s.w, s.prev, x) {
+				continue
+			}
+			id := f.stateID(x, s.w)
+			if cl.member[id] {
+				continue
+			}
+			cl.member[id] = true
+			cl.parent[id] = f.stateID(s.w, s.prev)
+			queue = append(queue, st{x, s.w})
+		}
+	}
+	return cl
+}
+
+// closurePath reconstructs a representative path for a closure member:
+// the closure-tree segment back to a seed at u, then the seed's
+// full-graph chain down to the destination.
+func (f *Forwarding) closurePath(cl closure, full bfsResult, w, prev topology.Node) routing.Path {
+	var rev []topology.Node
+	id := f.stateID(w, prev)
+	for {
+		rev = append(rev, f.stateNode(id))
+		pid := cl.parent[id]
+		if pid < 0 {
+			break // reached a seed state at u
+		}
+		id = pid
+	}
+	for id = full.parent[id]; id >= 0; id = full.parent[id] {
+		rev = append(rev, f.stateNode(id))
+	}
+	return routing.Path(rev)
+}
+
+// conflictOf picks v's representative conflicting path through u from
+// the through-closure, preferring the mutual shape (learned directly
+// from u) for rendering when it exists. It also reports whether mutual
+// and deeper (non-first-hop) conflicts exist — the two shapes SSLD and
+// Assertion respectively eliminate.
+func (f *Forwarding) conflictOf(cl closure, full bfsResult, v, u topology.Node) (routing.Path, bool, bool) {
+	var mutualPath, deeperPath routing.Path
+	for _, l := range f.in.Graph.Neighbors(v) {
+		if !cl.member[f.stateID(v, l)] {
+			continue
+		}
+		p := f.closurePath(cl, full, v, l)
+		if l == u {
+			if mutualPath == nil || p.Len() < mutualPath.Len() {
+				mutualPath = p
+			}
+		} else if deeperPath == nil || p.Len() < deeperPath.Len() {
+			deeperPath = p
+		}
+	}
+	switch {
+	case mutualPath != nil:
+		return mutualPath, true, deeperPath != nil
+	case deeperPath != nil:
+		return deeperPath, false, true
+	default:
+		return nil, false, false
+	}
+}
+
+// fallbackVia renders u's representative fallback path with first hop
+// v: u prepended to v's shortest permitted path that avoids u, using
+// the avoidance BFS tree and the same export gate as the H arc.
+func (f *Forwarding) fallbackVia(avoid bfsResult, u, v topology.Node) routing.Path {
+	if v == f.dst {
+		return routing.Path{u, f.dst}
+	}
+	var best routing.Path
+	for _, l := range f.in.Graph.Neighbors(v) {
+		if !avoid.visited[f.stateID(v, l)] {
+			continue
+		}
+		if !f.in.shouldExport(v, l, u) {
+			continue
+		}
+		p := f.treePath(avoid, v, l)
+		if best == nil || p.Len() < best.Len() {
+			best = p
+		}
+	}
+	if best == nil {
+		return routing.Path{u, v} // unreachable when HasArc(u, v) holds
+	}
+	return best.Prepend(u)
+}
