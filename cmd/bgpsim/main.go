@@ -33,6 +33,7 @@ import (
 	"bgploop/internal/safety"
 	"bgploop/internal/sweep"
 	"bgploop/internal/topology"
+	"bgploop/internal/transport"
 	"bgploop/internal/wire"
 )
 
@@ -66,6 +67,10 @@ func run(args []string) error {
 		workers   = fs.Int("j", 0, "sweep parallelism: 0 = GOMAXPROCS, 1 = the sequential path (output is byte-identical at any width)")
 		cacheDir  = fs.String("cache-dir", "", "content-addressed result cache; unchanged trials are served from disk instead of re-simulated")
 		resume    = fs.Bool("resume", false, "resume an interrupted sweep from its checkpoint journal (requires -cache-dir)")
+		lossF     = fs.Float64("loss", 0, "per-message loss probability on every link; loss is masked by retransmission (delay, not drop) up to the retry cap")
+		holdF     = fs.Duration("hold", 0, "BGP hold time; non-zero enables the session FSM (keepalive generation, hold-expiry teardown, backoff re-establishment). Keepalives only arm over impaired links, so combine with bounded degrade windows (a faultPlan degrade+undegrade pair) rather than a permanent -loss, which never quiesces")
+		keepF     = fs.Duration("keepalive", 0, "keepalive interval (default hold/3; requires -hold)")
+		backoffF  = fs.Duration("reconnect-backoff", 0, "session re-establishment backoff base, doubling per failed attempt (default 30s; requires -hold)")
 		guardF    = fs.String("guard", "", "runtime invariant guard cadence: off, phase, every-n, full (default: $BGPSIM_GUARD, else off)")
 		preflight = fs.String("preflight", "", "static safety analysis before simulating: warn (report and continue) or strict (refuse UNSAFE scenarios); SAFE runs get a finite watchdog horizon derived from the static bound")
 		shrinkF   = fs.String("shrink", "", "shrink a forensic bundle file to a minimal reproducing scenario spec and exit")
@@ -96,6 +101,23 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *lossF > 0 {
+		var tc transport.Config
+		if scenario.Transport != nil {
+			tc = *scenario.Transport
+		}
+		tc.Loss = *lossF
+		scenario.Transport = &tc
+	}
+	if *holdF > 0 {
+		scenario.BGP.Session.HoldTime = *holdF
+	}
+	if *keepF > 0 {
+		scenario.BGP.Session.KeepaliveInterval = *keepF
+	}
+	if *backoffF > 0 {
+		scenario.BGP.Session.ConnectRetry = *backoffF
 	}
 	if *guardF != "" {
 		cad, err := invariant.ParseCadence(*guardF)

@@ -11,7 +11,7 @@ var (
 	simPackages = []string{
 		"internal/des", "internal/bgp", "internal/netsim",
 		"internal/dataplane", "internal/experiment", "internal/faultplan",
-		"internal/invariant",
+		"internal/invariant", "internal/transport",
 	}
 	// kernelPackages must stay single-threaded: events execute one at a
 	// time in strict (time, insertion-order) order. internal/invariant
@@ -19,7 +19,7 @@ var (
 	// is held to the same bar.
 	kernelPackages = []string{
 		"internal/des", "internal/bgp", "internal/netsim", "internal/dataplane",
-		"internal/faultplan", "internal/invariant",
+		"internal/faultplan", "internal/invariant", "internal/transport",
 	}
 	// figurePackages compute the published numbers; exact float
 	// comparison there silently changes figures across platforms.

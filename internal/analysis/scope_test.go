@@ -11,7 +11,7 @@ func TestNoConcurrencyScopeCoversKernel(t *testing.T) {
 	noconc := NoConcurrencyAnalyzer()
 	for _, p := range []string{
 		"internal/des", "internal/bgp", "internal/netsim", "internal/faultplan",
-		"internal/invariant",
+		"internal/invariant", "internal/transport",
 	} {
 		if !noconc.Match(p) {
 			t.Errorf("noconcurrency no longer covers %s; the kernel must stay single-threaded", p)
@@ -58,5 +58,23 @@ func TestStaticScopeDeterminismAnalyzers(t *testing.T) {
 	// part of the single-threaded-kernel scope.
 	if NoConcurrencyAnalyzer().Match("internal/safety") {
 		t.Error("noconcurrency covers internal/safety; only kernel packages belong there")
+	}
+}
+
+// TestTransportScopeDeterminismAnalyzers pins internal/transport inside
+// the full determinism contract: its impairment draws run at Send time
+// inside the kernel event loop, so it is a kernel package (goroutine-free,
+// virtual-clock-only, named RNG streams, no map-order dependence).
+func TestTransportScopeDeterminismAnalyzers(t *testing.T) {
+	for _, a := range []*Analyzer{
+		NoRealTimeAnalyzer(), MapRangeAnalyzer(),
+		NakedPanicAnalyzer(), NoConcurrencyAnalyzer(),
+	} {
+		if !a.Match("internal/transport") {
+			t.Errorf("%s does not cover internal/transport", a.Name)
+		}
+	}
+	if a := NoGlobalRandAnalyzer(); a.Match != nil && !a.Match("internal/transport") {
+		t.Errorf("%s does not cover internal/transport", a.Name)
 	}
 }

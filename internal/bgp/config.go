@@ -135,8 +135,86 @@ type Config struct {
 	// Damping, when non-nil, enables RFC 2439 route flap damping at every
 	// speaker (an extension beyond the paper; see DefaultDamping).
 	Damping *DampingConfig
+	// Session parameterises the BGP session FSM (hold/keepalive timers,
+	// re-establishment backoff). The zero value disables the FSM entirely:
+	// sessions follow the physical link, as in the paper's model.
+	Session SessionConfig
 	// Enhancements selects the convergence enhancements to run.
 	Enhancements Enhancements
+}
+
+// Session FSM defaults (RFC 4271 shaped).
+const (
+	// DefaultConnectRetry is the base interval between connection attempts
+	// while a session is down.
+	DefaultConnectRetry = 30 * time.Second
+)
+
+// SessionConfig parameterises the BGP session FSM. HoldTime zero disables
+// the FSM: sessions come up instantly with the physical link and the
+// speaker behaves byte-identically to the pre-FSM engine.
+type SessionConfig struct {
+	// HoldTime is the negotiated hold time: a session with no message from
+	// the peer for HoldTime is declared dead (implicit withdrawal of every
+	// route learned over it) and re-establishment begins. Zero disables
+	// the whole FSM.
+	HoldTime time.Duration
+	// KeepaliveInterval paces keepalive generation; zero defaults to
+	// HoldTime/3 (RFC 4271 §4.4). Keepalives are suppressed when other
+	// traffic to the peer already refreshed its hold timer within the
+	// interval. The simulator arms keepalive/hold machinery only while
+	// the peer link is impaired — on a clean link delivery is reliable and
+	// in-order by construction, so keepalives are provably redundant and
+	// free-running timers would keep runs from quiescing.
+	KeepaliveInterval time.Duration
+	// ConnectRetry is the base backoff between connection attempts; each
+	// failed attempt doubles it (with MRAI-style jitter) up to
+	// ConnectRetryMax. Zero defaults to DefaultConnectRetry.
+	ConnectRetry time.Duration
+	// ConnectRetryMax caps the exponential backoff; zero defaults to
+	// 8 * ConnectRetry.
+	ConnectRetryMax time.Duration
+}
+
+// Enabled reports whether the session FSM runs at all.
+func (c SessionConfig) Enabled() bool { return c.HoldTime > 0 }
+
+// WithDefaults fills the zero timer fields of an enabled config.
+func (c SessionConfig) WithDefaults() SessionConfig {
+	if !c.Enabled() {
+		return c
+	}
+	if c.KeepaliveInterval == 0 {
+		c.KeepaliveInterval = c.HoldTime / 3
+	}
+	if c.ConnectRetry == 0 {
+		c.ConnectRetry = DefaultConnectRetry
+	}
+	if c.ConnectRetryMax == 0 {
+		c.ConnectRetryMax = 8 * c.ConnectRetry
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c SessionConfig) Validate() error {
+	if c.HoldTime < 0 || c.KeepaliveInterval < 0 || c.ConnectRetry < 0 || c.ConnectRetryMax < 0 {
+		return fmt.Errorf("bgp: negative session timer in %+v", c)
+	}
+	if !c.Enabled() {
+		if c.KeepaliveInterval != 0 || c.ConnectRetry != 0 || c.ConnectRetryMax != 0 {
+			return fmt.Errorf("bgp: session timers set but HoldTime is zero (FSM disabled)")
+		}
+		return nil
+	}
+	d := c.WithDefaults()
+	if d.KeepaliveInterval >= d.HoldTime {
+		return fmt.Errorf("bgp: keepalive interval %v must be below hold time %v", d.KeepaliveInterval, d.HoldTime)
+	}
+	if d.ConnectRetryMax < d.ConnectRetry {
+		return fmt.Errorf("bgp: connect-retry cap %v below base %v", d.ConnectRetryMax, d.ConnectRetry)
+	}
+	return nil
 }
 
 // ExportPolicy decides whether a node may advertise its best route to a
@@ -199,6 +277,9 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Session.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -207,5 +288,6 @@ func (c Config) withDefaults() Config {
 	if c.Policy == nil {
 		c.Policy = routing.ShortestPath{}
 	}
+	c.Session = c.Session.WithDefaults()
 	return c
 }

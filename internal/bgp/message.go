@@ -31,6 +31,39 @@ func (u Update) String() string {
 	return fmt.Sprintf("announce %d %v", u.Dest, u.Path)
 }
 
+// Open is the session-establishment handshake message (RFC 4271 OPEN,
+// reduced to what the FSM needs). Session messages are handled at the
+// delivery instant — only *routing* messages occupy the serial route
+// processor, matching the paper's model where failure detection and
+// session management are instantaneous relative to route processing.
+type Open struct {
+	// Gen is the sender's connection generation, incremented each time the
+	// sender re-enters Connect. It lets the receiver tell a retransmitted
+	// handshake of the current connection (same Gen: re-ack, no state
+	// change) from a peer restart (new Gen: tear down and re-establish).
+	Gen uint64
+	// Ack is the peer generation this Open acknowledges; zero marks an
+	// initial (unsolicited) Open.
+	Ack uint64
+}
+
+// String renders the handshake message for traces.
+func (o Open) String() string {
+	if o.Ack == 0 {
+		return fmt.Sprintf("open gen=%d", o.Gen)
+	}
+	return fmt.Sprintf("open gen=%d ack=%d", o.Gen, o.Ack)
+}
+
+// Keepalive refreshes the receiver's hold timer (RFC 4271 KEEPALIVE). The
+// simulator generates keepalives only while the peer link is impaired; on
+// a clean link every message arrives, so the hold timer cannot spuriously
+// expire and keepalives would only delay quiescence.
+type Keepalive struct{}
+
+// String renders the keepalive for traces.
+func (Keepalive) String() string { return "keepalive" }
+
 // Observer receives simulation-visible protocol events. Implementations
 // must be cheap; they run inline with event processing.
 type Observer interface {
@@ -74,6 +107,12 @@ type Stats struct {
 	MalformedDropped       int // updates dropped by sanity checks
 	RoutesSuppressed       int // suppression periods started by flap damping
 	RoutesReused           int // suppression periods ended by flap damping
+	// Session FSM counters (all zero when SessionConfig is disabled).
+	OpensSent            int // handshake messages sent (initial + retries + acks)
+	KeepalivesSent       int // keepalives actually transmitted
+	KeepalivesSuppressed int // keepalive ticks elided because traffic already refreshed the peer
+	HoldExpiries         int // sessions declared dead by hold-timer expiry
+	SessionsEstablished  int // successful (re-)establishments
 }
 
 // UpdatesSent returns announcements plus withdrawals.

@@ -1,0 +1,333 @@
+package bgp
+
+import (
+	"fmt"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// Session FSM. With Config.Session enabled (HoldTime > 0) a speaker no
+// longer treats the physical link as the session: each peering runs a
+// reduced RFC 4271 state machine —
+//
+//	Idle        link down; nothing happens until PeerUp.
+//	Connect     link up, handshake in progress; Opens are (re)sent with
+//	            capped exponential ConnectRetry backoff + jitter.
+//	Established routes flow; while the link is impaired a hold timer
+//	            watches the peer and keepalives are generated.
+//
+// Sustained loss starves the hold timer; expiry tears the session down
+// (implicit withdrawal of everything learned over it — the peerLeave
+// path), and re-establishment begins with backoff. Connection generations
+// in Open messages disambiguate retransmitted handshakes of the current
+// connection from genuine peer restarts.
+//
+// Session messages are handled at the delivery instant, bypassing the
+// serial route processor: the paper charges processing delay to routing
+// messages only, and session management models the TCP/FSM layer
+// underneath it.
+//
+// Quiescence contract: hold and keepalive timers are armed only while the
+// peer link is impaired (netsim.Network.Impaired). On a clean link the
+// transport delivers every message in order, so a hold timer can never
+// legitimately expire and keepalives would merely keep the event queue
+// non-empty forever. Scenarios that want hold-timer dynamics must bound
+// the degraded window (Degrade then Restore) or accept a run that only
+// quiesces after the impairment clears; a permanent base impairment plus
+// the FSM keeps keepalive traffic flowing indefinitely by design.
+type sessionState struct {
+	state    SessionState
+	localGen uint64 // our connection generation; bumped on each entry to Connect
+	peerGen  uint64 // the peer generation we established against
+	attempts int    // consecutive ConnectRetry expirations this connect cycle
+
+	// lastSent is the instant any message (update, Open, keepalive) last
+	// went to this peer; keepalive ticks are suppressed when it is fresh.
+	lastSent des.Time
+
+	armed bool // hold/keepalive machinery live (link impaired)
+	hold  des.Handle
+	keep  des.Handle
+	retry des.Handle
+}
+
+// SessionState is the observable state of one peering.
+type SessionState int
+
+const (
+	// SessionIdle: the physical link is down.
+	SessionIdle SessionState = iota
+	// SessionConnect: link up, handshake or re-establishment in progress.
+	SessionConnect
+	// SessionEstablished: routes flow over the session.
+	SessionEstablished
+)
+
+// String names the state.
+func (s SessionState) String() string {
+	switch s {
+	case SessionIdle:
+		return "idle"
+	case SessionConnect:
+		return "connect"
+	case SessionEstablished:
+		return "established"
+	}
+	return fmt.Sprintf("SessionState(%d)", int(s))
+}
+
+// SessionState returns the FSM state of the peering with peer. With the
+// FSM disabled it derives the state from the physical link: established
+// when the peer is up, idle otherwise.
+func (s *Speaker) SessionState(peer topology.Node) SessionState {
+	if !s.cfg.Session.Enabled() {
+		if s.peerSet[peer] {
+			return SessionEstablished
+		}
+		return SessionIdle
+	}
+	sess, ok := s.sessions[peer]
+	if !ok {
+		return SessionIdle
+	}
+	return sess.state
+}
+
+// PeerEstablished reports whether routes currently flow to/from peer.
+func (s *Speaker) PeerEstablished(peer topology.Node) bool {
+	return s.SessionState(peer) == SessionEstablished
+}
+
+// session returns (creating if needed) the FSM state for peer.
+func (s *Speaker) session(peer topology.Node) *sessionState {
+	sess, ok := s.sessions[peer]
+	if !ok {
+		sess = &sessionState{}
+		s.sessions[peer] = sess
+	}
+	return sess
+}
+
+// startConnect enters Connect for peer: new generation, immediate Open,
+// retry timer armed.
+func (s *Speaker) startConnect(peer topology.Node) {
+	sess := s.session(peer)
+	sess.state = SessionConnect
+	sess.localGen++
+	sess.attempts = 0
+	s.sendOpen(peer, 0)
+	s.armRetry(peer)
+}
+
+// sendOpen transmits Open{localGen, ack} to peer. Like update sends, an
+// Open racing a link failure is silently dropped.
+func (s *Speaker) sendOpen(peer topology.Node, ack uint64) {
+	sess := s.session(peer)
+	if err := s.net.Send(s.id, peer, Open{Gen: sess.localGen, Ack: ack}); err != nil {
+		return
+	}
+	s.stats.OpensSent++
+	sess.lastSent = s.sched.Now()
+}
+
+// armRetry schedules the next connection attempt with capped exponential
+// backoff and multiplicative jitter.
+func (s *Speaker) armRetry(peer topology.Node) {
+	sess := s.session(peer)
+	sess.retry.Cancel()
+	base := s.connectBackoff(sess.attempts)
+	factor := des.UniformFactor(s.rngSess, s.cfg.JitterMin, s.cfg.JitterMax)
+	delay := des.Time(float64(base) * factor)
+	if delay <= 0 {
+		delay = 1
+	}
+	sess.retry = s.sched.MustAfter(delay, func() { s.retryExpired(peer) })
+}
+
+// connectBackoff returns the base backoff of attempt i (0-based),
+// ConnectRetry doubled per attempt and capped at ConnectRetryMax.
+func (s *Speaker) connectBackoff(i int) des.Time {
+	cfg := s.cfg.Session
+	if i > 62 {
+		return cfg.ConnectRetryMax
+	}
+	d := cfg.ConnectRetry << uint(i)
+	if d <= 0 || d > cfg.ConnectRetryMax {
+		return cfg.ConnectRetryMax
+	}
+	return d
+}
+
+// retryExpired re-sends the Open after a silent ConnectRetry interval.
+func (s *Speaker) retryExpired(peer topology.Node) {
+	sess := s.session(peer)
+	if sess.state != SessionConnect {
+		return
+	}
+	sess.attempts++
+	s.sendOpen(peer, 0)
+	s.armRetry(peer)
+}
+
+// handleOpen runs the handshake state machine at the delivery instant.
+func (s *Speaker) handleOpen(from topology.Node, o Open) {
+	sess := s.session(from)
+	switch sess.state {
+	case SessionIdle:
+		// Link considered down locally; a racing Open is obsolete.
+		return
+	case SessionConnect:
+		if o.Ack != 0 && o.Ack != sess.localGen {
+			return // ack of a previous generation of ours: stale
+		}
+		sess.peerGen = o.Gen
+		if o.Ack == 0 {
+			// Unsolicited Open: complete the handshake with an ack.
+			s.sendOpen(from, o.Gen)
+		}
+		s.establish(from)
+	case SessionEstablished:
+		if o.Gen == sess.peerGen {
+			// Retransmitted handshake of the current connection.
+			if o.Ack == 0 {
+				s.sendOpen(from, o.Gen)
+			}
+			s.refreshHold(from)
+			return
+		}
+		// New peer generation: the peer restarted the session (e.g. its
+		// hold timer expired while ours survived). Flush and re-establish.
+		s.teardownSession(from)
+		sess.state = SessionConnect
+		sess.localGen++
+		sess.attempts = 0
+		sess.peerGen = o.Gen
+		s.sendOpen(from, o.Gen)
+		s.establish(from)
+	}
+}
+
+// establish completes the handshake: the session carries routes from this
+// instant, the network layer (and through it the invariant engine) sees
+// SessionUp, and full tables are exchanged (peerJoin).
+func (s *Speaker) establish(peer topology.Node) {
+	sess := s.session(peer)
+	sess.state = SessionEstablished
+	sess.attempts = 0
+	sess.retry.Cancel()
+	s.stats.SessionsEstablished++
+	// SessionUp reaches the tap before the full-table advertisements below,
+	// so per-session invariant state (MRAI windows, FIFO epochs) resets
+	// before the first message of the new session.
+	s.net.SessionEstablished(s.id, peer)
+	if s.net.Impaired(s.id, peer) {
+		sess.armed = true
+		s.refreshHold(peer)
+		s.armKeepalive(peer)
+	}
+	s.peerJoin(peer)
+}
+
+// teardownSession kills the session: timers stop, in-flight messages die
+// with the TCP connection (KillSession), and everything learned over the
+// peer is withdrawn (peerLeave). The caller decides the successor state.
+func (s *Speaker) teardownSession(peer topology.Node) {
+	sess := s.session(peer)
+	sess.armed = false
+	sess.hold.Cancel()
+	sess.keep.Cancel()
+	sess.retry.Cancel()
+	s.net.KillSession(s.id, peer)
+	s.peerLeave(peer)
+}
+
+// holdExpired declares the peer dead after HoldTime of silence. The first
+// reconnection attempt waits one ConnectRetry backoff — the FSM backs off
+// rather than hammering a link that just starved it.
+func (s *Speaker) holdExpired(peer topology.Node) {
+	sess := s.session(peer)
+	if sess.state != SessionEstablished {
+		return
+	}
+	s.stats.HoldExpiries++
+	s.teardownSession(peer)
+	sess.state = SessionConnect
+	sess.localGen++
+	sess.attempts = 0
+	s.armRetry(peer)
+}
+
+// refreshHold restarts the hold timer after hearing from the peer. No-op
+// while the machinery is disarmed (link clean).
+func (s *Speaker) refreshHold(peer topology.Node) {
+	sess := s.session(peer)
+	if !sess.armed {
+		return
+	}
+	sess.hold.Cancel()
+	sess.hold = s.sched.MustAfter(des.Time(s.cfg.Session.HoldTime), func() { s.holdExpired(peer) })
+}
+
+// armKeepalive schedules the next keepalive tick.
+func (s *Speaker) armKeepalive(peer topology.Node) {
+	sess := s.session(peer)
+	sess.keep.Cancel()
+	sess.keep = s.sched.MustAfter(des.Time(s.cfg.Session.KeepaliveInterval), func() { s.keepTick(peer) })
+}
+
+// keepTick sends a keepalive unless other traffic to the peer already
+// refreshed it within the interval (RFC 4271 §4.4 suppression).
+func (s *Speaker) keepTick(peer topology.Node) {
+	sess := s.session(peer)
+	if sess.state != SessionEstablished || !sess.armed {
+		return
+	}
+	if s.sched.Now()-sess.lastSent >= des.Time(s.cfg.Session.KeepaliveInterval) {
+		if err := s.net.Send(s.id, peer, Keepalive{}); err == nil {
+			s.stats.KeepalivesSent++
+			sess.lastSent = s.sched.Now()
+		}
+	} else {
+		s.stats.KeepalivesSuppressed++
+	}
+	s.armKeepalive(peer)
+}
+
+// LinkDegraded implements netsim.DegradeAware: an impairment appeared on
+// the link to peer, so the hold/keepalive machinery arms.
+func (s *Speaker) LinkDegraded(peer topology.Node) {
+	if !s.cfg.Session.Enabled() {
+		return
+	}
+	sess := s.session(peer)
+	if sess.state != SessionEstablished || sess.armed {
+		return
+	}
+	sess.armed = true
+	s.refreshHold(peer)
+	s.armKeepalive(peer)
+}
+
+// LinkImpairmentCleared implements netsim.DegradeAware: the link to peer
+// is clean again; delivery is reliable, so the timers disarm and the run
+// can quiesce.
+func (s *Speaker) LinkImpairmentCleared(peer topology.Node) {
+	if !s.cfg.Session.Enabled() {
+		return
+	}
+	sess := s.session(peer)
+	sess.armed = false
+	sess.hold.Cancel()
+	sess.keep.Cancel()
+}
+
+// noteSent records outbound traffic to peer for keepalive suppression.
+func (s *Speaker) noteSent(peer topology.Node) {
+	if !s.cfg.Session.Enabled() {
+		return
+	}
+	if sess, ok := s.sessions[peer]; ok {
+		sess.lastSent = s.sched.Now()
+	}
+}

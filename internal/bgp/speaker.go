@@ -35,9 +35,15 @@ type Speaker struct {
 
 	rngProc *rand.Rand
 	rngJit  *rand.Rand
+	rngSess *rand.Rand // session backoff jitter; nil unless the FSM is on
 
 	peerSet map[topology.Node]bool
 	peers   []topology.Node // sorted; kept in sync with peerSet
+
+	// sessions holds per-peer FSM state (Config.Session enabled only).
+	// With the FSM off, sessions is nil and the peer set tracks the
+	// physical link directly, as in the paper's model.
+	sessions map[topology.Node]*sessionState
 
 	dests     map[topology.Node]*destState
 	destOrder []topology.Node // sorted keys of dests
@@ -101,11 +107,24 @@ func NewSpeaker(id topology.Node, sched *des.Scheduler, net *netsim.Network, cfg
 	if cfg.PolicyFor != nil {
 		s.policy = cfg.PolicyFor(id)
 	}
-	for _, u := range net.Graph().Neighbors(id) {
-		s.peerSet[u] = true
-		s.peers = append(s.peers, u)
+	if cfg.Session.Enabled() {
+		s.rngSess = rng.Stream(fmt.Sprintf("bgp/session/%d", id))
+		s.sessions = make(map[topology.Node]*sessionState)
 	}
 	net.Attach(id, s)
+	if cfg.Session.Enabled() {
+		// Cold start: every peering begins in Connect and must complete a
+		// handshake before routes flow; the peer set stays empty until the
+		// first establish (peerJoin).
+		for _, u := range net.Graph().Neighbors(id) {
+			s.startConnect(u)
+		}
+	} else {
+		for _, u := range net.Graph().Neighbors(id) {
+			s.peerSet[u] = true
+			s.peers = append(s.peers, u)
+		}
+	}
 	return s, nil
 }
 
@@ -145,9 +164,23 @@ func (s *Speaker) Originate(dest topology.Node) error {
 	return nil
 }
 
-// Deliver implements netsim.Handler: a BGP update arrives from a peer and
-// enters the serial route processor.
+// Deliver implements netsim.Handler. Session messages (Open, Keepalive)
+// are handled at the delivery instant — only routing messages occupy the
+// serial route processor. Updates additionally refresh the sender's hold
+// timer on arrival: any TCP segment from the peer proves liveness.
 func (s *Speaker) Deliver(from topology.Node, payload any) {
+	if s.cfg.Session.Enabled() {
+		switch m := payload.(type) {
+		case Open:
+			s.handleOpen(from, m)
+			return
+		case Keepalive:
+			s.refreshHold(from)
+			return
+		case Update:
+			s.refreshHold(from)
+		}
+	}
 	up, ok := payload.(Update)
 	if !ok {
 		s.stats.MalformedDropped++
@@ -175,11 +208,30 @@ func (s *Speaker) Deliver(from topology.Node, payload any) {
 	}
 }
 
-// PeerDown implements netsim.Handler: the session to peer is lost. All
-// state learned from the peer is discarded immediately and the decision
-// process reruns. The paper models failure detection as instantaneous;
-// only *routing messages* incur processing delay.
+// PeerDown implements netsim.Handler: the physical link to peer failed.
+// With the FSM off the link is the session: all state learned from the
+// peer is discarded immediately and the decision process reruns (the
+// paper models failure detection as instantaneous; only *routing
+// messages* incur processing delay). With the FSM on, the session dies
+// with the link and the peering parks in Idle until PeerUp.
 func (s *Speaker) PeerDown(peer topology.Node) {
+	if s.cfg.Session.Enabled() {
+		sess := s.session(peer)
+		sess.armed = false
+		sess.hold.Cancel()
+		sess.keep.Cancel()
+		sess.retry.Cancel()
+		sess.state = SessionIdle
+		s.peerLeave(peer)
+		return
+	}
+	s.peerLeave(peer)
+}
+
+// peerLeave discards everything learned over the peering with peer —
+// BGP's implicit withdrawal when a session ends, however it ended
+// (physical failure, or hold-timer expiry via teardownSession).
+func (s *Speaker) peerLeave(peer topology.Node) {
 	if !s.peerSet[peer] {
 		return
 	}
@@ -207,10 +259,25 @@ func (s *Speaker) PeerDown(peer topology.Node) {
 	}
 }
 
-// PeerUp implements netsim.Handler: the session to peer (re)establishes.
-// BGP exchanges full tables on session start, so the speaker advertises
-// its current best route for every known destination to the new peer.
+// PeerUp implements netsim.Handler: the physical link to peer
+// (re)appeared. With the FSM off the session is up at once; with the FSM
+// on a handshake must complete first (startConnect), and routes flow only
+// after establish.
 func (s *Speaker) PeerUp(peer topology.Node) {
+	if s.cfg.Session.Enabled() {
+		if s.session(peer).state != SessionIdle {
+			return
+		}
+		s.startConnect(peer)
+		return
+	}
+	s.peerJoin(peer)
+}
+
+// peerJoin starts the routing exchange of a fresh peering: BGP exchanges
+// full tables on session start, so the speaker advertises its current
+// best route for every known destination to the new peer.
+func (s *Speaker) peerJoin(peer topology.Node) {
 	if s.peerSet[peer] {
 		return
 	}
@@ -500,6 +567,7 @@ func (s *Speaker) send(peer topology.Node, up Update) {
 		s.stats.AnnouncementsSent++
 	}
 	s.stats.LastUpdateSent = now
+	s.noteSent(peer)
 	s.obs.UpdateSent(now, s.id, peer, up)
 }
 

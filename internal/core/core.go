@@ -99,6 +99,21 @@ func (r *Report) SummaryTable() *report.Table {
 	tbl.AddRow("updates_sent", fmt.Sprintf("%d", r.UpdatesSent))
 	tbl.AddRow("withdrawals_sent", fmt.Sprintf("%d", r.Withdrawals))
 	tbl.AddRow("bound_violations", fmt.Sprintf("%d", len(r.BoundViolations)))
+	// Transport and session rows appear only when the run exercised the
+	// respective layer, so unimpaired runs keep the historical table.
+	if n := r.Net; n.Retransmitted > 0 || n.Dropped > 0 || n.Duplicated > 0 || n.Reordered > 0 {
+		tbl.AddRow("msgs_retransmitted", fmt.Sprintf("%d", n.Retransmitted))
+		tbl.AddRow("msgs_dropped", fmt.Sprintf("%d", n.Dropped))
+		tbl.AddRow("msgs_duplicated", fmt.Sprintf("%d", n.Duplicated))
+		tbl.AddRow("msgs_reordered", fmt.Sprintf("%d", n.Reordered))
+	}
+	if r.OpensSent > 0 {
+		tbl.AddRow("sessions_established", fmt.Sprintf("%d", r.SessionsEstablished))
+		tbl.AddRow("opens_sent", fmt.Sprintf("%d", r.OpensSent))
+		tbl.AddRow("keepalives_sent", fmt.Sprintf("%d", r.KeepalivesSent))
+		tbl.AddRow("keepalives_suppressed", fmt.Sprintf("%d", r.KeepalivesSuppressed))
+		tbl.AddRow("hold_expiries", fmt.Sprintf("%d", r.HoldExpiries))
+	}
 	return tbl
 }
 

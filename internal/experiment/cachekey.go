@@ -9,13 +9,17 @@ import (
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/routing"
+	"bgploop/internal/transport"
 )
 
 // CacheKeyVersion is folded into every scenario content address. Bump it
 // whenever the simulation semantics change in a way the key cannot see
 // (metric definitions, event ordering, default constants), so stale cache
 // objects miss instead of silently serving results from old code.
-const CacheKeyVersion = 1
+//
+// v2: Result gained the netsim/session counter fields, so results stored
+// by v1 binaries would digest-mismatch against fresh runs.
+const CacheKeyVersion = 2
 
 // Fingerprinted lets a custom routing.Policy or bgp.ExportPolicy opt into
 // the sweep result cache. The fingerprint must change whenever the
@@ -46,6 +50,12 @@ type cacheKeySpec struct {
 
 	BGP bgpKeySpec `json:"bgp"`
 
+	// Transport is the base impairment, normalized via WithDefaults and
+	// omitted when absent or inactive — so a nil Transport and an explicit
+	// all-zero config share a key, exactly as they share behaviour (the
+	// impairment layer is a strict no-op when inactive).
+	Transport *transportKeySpec `json:"transport,omitempty"`
+
 	PacketIntervalNs int64  `json:"packetIntervalNs"`
 	TTL              int    `json:"ttl"`
 	LinkDelayNs      int64  `json:"linkDelayNs"`
@@ -53,6 +63,60 @@ type cacheKeySpec struct {
 	MaxEvents        uint64 `json:"maxEvents"`
 	PhaseEventBudget uint64 `json:"phaseEventBudget"`
 	HorizonNs        int64  `json:"horizonNs"`
+}
+
+// transportKeySpec is the hashable form of transport.Config.
+type transportKeySpec struct {
+	Loss            float64 `json:"loss"`
+	Duplicate       float64 `json:"duplicate"`
+	ReorderProb     float64 `json:"reorderProb"`
+	ReorderWindowNs int64   `json:"reorderWindowNs"`
+	JitterNs        int64   `json:"jitterNs"`
+	RTOInitialNs    int64   `json:"rtoInitialNs"`
+	RTOMaxNs        int64   `json:"rtoMaxNs"`
+	MaxRetries      int     `json:"maxRetries"`
+}
+
+// newTransportKeySpec normalizes cfg for hashing; nil for nil-or-inactive
+// configs (behaviourally identical to no transport at all).
+func newTransportKeySpec(cfg *transport.Config) *transportKeySpec {
+	if cfg == nil || !cfg.Active() {
+		return nil
+	}
+	d := cfg.WithDefaults()
+	return &transportKeySpec{
+		Loss:            d.Loss,
+		Duplicate:       d.Duplicate,
+		ReorderProb:     d.ReorderProb,
+		ReorderWindowNs: int64(d.ReorderWindow),
+		JitterNs:        int64(d.Jitter),
+		RTOInitialNs:    int64(d.RTOInitial),
+		RTOMaxNs:        int64(d.RTOMax),
+		MaxRetries:      d.MaxRetries,
+	}
+}
+
+// sessionKeySpec is the hashable form of bgp.SessionConfig.
+type sessionKeySpec struct {
+	HoldNs            int64 `json:"holdNs"`
+	KeepaliveNs       int64 `json:"keepaliveNs"`
+	ConnectRetryNs    int64 `json:"connectRetryNs"`
+	ConnectRetryMaxNs int64 `json:"connectRetryMaxNs"`
+}
+
+// newSessionKeySpec normalizes cfg for hashing; nil when the FSM is
+// disabled (behaviourally identical to the pre-FSM engine).
+func newSessionKeySpec(cfg bgp.SessionConfig) *sessionKeySpec {
+	if !cfg.Enabled() {
+		return nil
+	}
+	d := cfg.WithDefaults()
+	return &sessionKeySpec{
+		HoldNs:            int64(d.HoldTime),
+		KeepaliveNs:       int64(d.KeepaliveInterval),
+		ConnectRetryNs:    int64(d.ConnectRetry),
+		ConnectRetryMaxNs: int64(d.ConnectRetryMax),
+	}
 }
 
 // bgpKeySpec is the hashable form of bgp.Config.
@@ -66,7 +130,10 @@ type bgpKeySpec struct {
 	Policy         string             `json:"policy"`
 	Export         string             `json:"export"`
 	Damping        *bgp.DampingConfig `json:"damping,omitempty"`
-	Enhancements   bgp.Enhancements   `json:"enhancements"`
+	// Session is the FSM configuration, normalized and omitted when
+	// disabled (HoldTime zero keeps the pre-FSM behaviour and key).
+	Session      *sessionKeySpec  `json:"session,omitempty"`
+	Enhancements bgp.Enhancements `json:"enhancements"`
 }
 
 // policyFingerprint canonicalizes the route-selection policy, reporting
@@ -149,8 +216,10 @@ func (s Scenario) CacheKey() string {
 			Policy:         pol,
 			Export:         exp,
 			Damping:        d.BGP.Damping,
+			Session:        newSessionKeySpec(d.BGP.Session),
 			Enhancements:   d.BGP.Enhancements,
 		},
+		Transport:        newTransportKeySpec(d.Transport),
 		PacketIntervalNs: int64(d.PacketInterval),
 		TTL:              d.TTL,
 		LinkDelayNs:      int64(d.LinkDelay),

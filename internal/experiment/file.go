@@ -14,6 +14,7 @@ import (
 	"bgploop/internal/invariant"
 	"bgploop/internal/routing"
 	"bgploop/internal/topology"
+	"bgploop/internal/transport"
 )
 
 // ScenarioSpec is the JSON scenario-file schema consumed by LoadScenario
@@ -47,6 +48,13 @@ type ScenarioSpec struct {
 	TTL                   int     `json:"ttl,omitempty"`
 	LinkDelaySeconds      float64 `json:"linkDelaySeconds,omitempty"`
 	SettleDelaySeconds    float64 `json:"settleDelaySeconds,omitempty"`
+	// Transport, when present, impairs every link from t=0; see
+	// TransportSpec. Per-link time-bounded impairments use faultPlan
+	// degrade actions instead.
+	Transport *TransportSpec `json:"transport,omitempty"`
+	// Session, when present, enables the BGP session FSM (hold/keepalive
+	// timers, backoff re-establishment); see SessionSpec.
+	Session *SessionSpec `json:"session,omitempty"`
 	// Guard configures the runtime invariant guards; nil keeps the
 	// Scenario default (BGPSIM_GUARD environment variable, else off).
 	Guard *invariant.Config `json:"guard,omitempty"`
@@ -61,6 +69,83 @@ type ScenarioSpec struct {
 	PhaseEventBudget uint64            `json:"phaseEventBudget,omitempty"`
 	HorizonSeconds   float64           `json:"horizonSeconds,omitempty"`
 	Extra            map[string]string `json:"-"`
+}
+
+// TransportSpec is the JSON form of a transport.Config (seconds-based
+// durations, harness defaults for the zero retransmission parameters).
+type TransportSpec struct {
+	Loss                 float64 `json:"loss,omitempty"`
+	Duplicate            float64 `json:"duplicate,omitempty"`
+	ReorderProb          float64 `json:"reorderProb,omitempty"`
+	ReorderWindowSeconds float64 `json:"reorderWindowSeconds,omitempty"`
+	JitterSeconds        float64 `json:"jitterSeconds,omitempty"`
+	RTOInitialSeconds    float64 `json:"rtoInitialSeconds,omitempty"`
+	RTOMaxSeconds        float64 `json:"rtoMaxSeconds,omitempty"`
+	MaxRetries           int     `json:"maxRetries,omitempty"`
+}
+
+// Config materialises the spec.
+func (ts TransportSpec) Config() transport.Config {
+	return transport.Config{
+		Loss:          ts.Loss,
+		Duplicate:     ts.Duplicate,
+		ReorderProb:   ts.ReorderProb,
+		ReorderWindow: time.Duration(ts.ReorderWindowSeconds * float64(time.Second)),
+		Jitter:        time.Duration(ts.JitterSeconds * float64(time.Second)),
+		RTOInitial:    time.Duration(ts.RTOInitialSeconds * float64(time.Second)),
+		RTOMax:        time.Duration(ts.RTOMaxSeconds * float64(time.Second)),
+		MaxRetries:    ts.MaxRetries,
+	}
+}
+
+// NewTransportSpec renders a transport config back into spec form; nil
+// for a nil config.
+func NewTransportSpec(cfg *transport.Config) *TransportSpec {
+	if cfg == nil {
+		return nil
+	}
+	return &TransportSpec{
+		Loss:                 cfg.Loss,
+		Duplicate:            cfg.Duplicate,
+		ReorderProb:          cfg.ReorderProb,
+		ReorderWindowSeconds: cfg.ReorderWindow.Seconds(),
+		JitterSeconds:        cfg.Jitter.Seconds(),
+		RTOInitialSeconds:    cfg.RTOInitial.Seconds(),
+		RTOMaxSeconds:        cfg.RTOMax.Seconds(),
+		MaxRetries:           cfg.MaxRetries,
+	}
+}
+
+// SessionSpec is the JSON form of a bgp.SessionConfig.
+type SessionSpec struct {
+	HoldSeconds            float64 `json:"holdSeconds"`
+	KeepaliveSeconds       float64 `json:"keepaliveSeconds,omitempty"`
+	ConnectRetrySeconds    float64 `json:"connectRetrySeconds,omitempty"`
+	ConnectRetryMaxSeconds float64 `json:"connectRetryMaxSeconds,omitempty"`
+}
+
+// Config materialises the spec.
+func (ss SessionSpec) Config() bgp.SessionConfig {
+	return bgp.SessionConfig{
+		HoldTime:          time.Duration(ss.HoldSeconds * float64(time.Second)),
+		KeepaliveInterval: time.Duration(ss.KeepaliveSeconds * float64(time.Second)),
+		ConnectRetry:      time.Duration(ss.ConnectRetrySeconds * float64(time.Second)),
+		ConnectRetryMax:   time.Duration(ss.ConnectRetryMaxSeconds * float64(time.Second)),
+	}
+}
+
+// NewSessionSpec renders a session config back into spec form; nil when
+// the FSM is disabled (the spec's absence means disabled).
+func NewSessionSpec(cfg bgp.SessionConfig) *SessionSpec {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &SessionSpec{
+		HoldSeconds:            cfg.HoldTime.Seconds(),
+		KeepaliveSeconds:       cfg.KeepaliveInterval.Seconds(),
+		ConnectRetrySeconds:    cfg.ConnectRetry.Seconds(),
+		ConnectRetryMaxSeconds: cfg.ConnectRetryMax.Seconds(),
+	}
 }
 
 // FaultPlanSpec is the JSON form of a faultplan.Plan.
@@ -82,17 +167,20 @@ type PhaseSpec struct {
 // ActionSpec is the JSON form of a faultplan.Action.
 type ActionSpec struct {
 	// Op is one of linkDown, linkUp, nodeDown, nodeUp, groupDown,
-	// groupUp, sessionReset, flapLink.
+	// groupUp, sessionReset, flapLink, degrade, undegrade.
 	Op        string  `json:"op"`
 	AtSeconds float64 `json:"atSeconds,omitempty"`
-	// Link is the [a, b] link of linkDown/linkUp/sessionReset/flapLink;
-	// Node the node of nodeDown/nodeUp; Links the correlated group of
-	// groupDown/groupUp.
+	// Link is the [a, b] link of linkDown/linkUp/sessionReset/flapLink
+	// (and of single-link degrade/undegrade); Node the node of
+	// nodeDown/nodeUp; Links the correlated group of groupDown/groupUp
+	// and of correlated degrade/undegrade.
 	Link          *[2]int  `json:"link,omitempty"`
 	Node          *int     `json:"node,omitempty"`
 	Links         [][2]int `json:"links,omitempty"`
 	Cycles        int      `json:"cycles,omitempty"`
 	PeriodSeconds float64  `json:"periodSeconds,omitempty"`
+	// Impairment is the transport configuration a degrade action applies.
+	Impairment *TransportSpec `json:"impairment,omitempty"`
 }
 
 // Plan materialises the spec into a faultplan.Plan.
@@ -137,6 +225,10 @@ func (as ActionSpec) action() (faultplan.Action, error) {
 	for _, l := range as.Links {
 		a.Links = append(a.Links, topology.NormEdge(topology.Node(l[0]), topology.Node(l[1])))
 	}
+	if as.Impairment != nil {
+		cfg := as.Impairment.Config()
+		a.Impairment = &cfg
+	}
 	return a, nil
 }
 
@@ -174,6 +266,18 @@ func NewFaultPlanSpec(p *faultplan.Plan) *FaultPlanSpec {
 				for _, l := range a.Links {
 					as.Links = append(as.Links, [2]int{int(l.A), int(l.B)})
 				}
+			case faultplan.Degrade, faultplan.Undegrade:
+				// Rendering must be lossless here: CacheKey hashes the
+				// rendered plan spec, so an omitted field would alias
+				// behaviourally distinct plans.
+				if len(a.Links) > 0 {
+					for _, l := range a.Links {
+						as.Links = append(as.Links, [2]int{int(l.A), int(l.B)})
+					}
+				} else {
+					as.Link = &[2]int{int(a.Link.A), int(a.Link.B)}
+				}
+				as.Impairment = NewTransportSpec(a.Impairment)
 			}
 			phs.Actions = append(phs.Actions, as)
 		}
@@ -330,6 +434,14 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 		LinkDelay:        time.Duration(spec.LinkDelaySeconds * float64(time.Second)),
 		SettleDelay:      time.Duration(spec.SettleDelaySeconds * float64(time.Second)),
 	}
+	if spec.Transport != nil {
+		tc := spec.Transport.Config()
+		s.Transport = &tc
+	}
+	if spec.Session != nil {
+		cfg.Session = spec.Session.Config()
+		s.BGP = cfg
+	}
 	if spec.Guard != nil {
 		s.Guard = *spec.Guard
 	}
@@ -462,6 +574,9 @@ func NewScenarioSpec(s Scenario) (*ScenarioSpec, error) {
 		}
 		spec.Damping = true
 	}
+
+	spec.Transport = NewTransportSpec(s.Transport)
+	spec.Session = NewSessionSpec(s.BGP.Session)
 
 	if s.Guard != (invariant.Config{}) {
 		gc := s.Guard

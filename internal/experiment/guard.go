@@ -145,6 +145,36 @@ func buildGuardEngine(s Scenario, sched *des.Scheduler, speakers []*bgp.Speaker,
 		return nil
 	})
 
+	// Session-withdrawal completeness: a phase boundary is a quiescent
+	// instant, so any route learned over a session that is now down must
+	// already have left the adj-RIB-in — either through an explicit
+	// withdrawal or through the implicit withdrawal the session teardown
+	// performs. A surviving entry means a teardown path forgot to flush
+	// (or an update from a dead session was accepted), which would let
+	// ghost routes steer the data plane indefinitely. This is a boundary
+	// check, not a sweep check: mid-phase the entry may legitimately
+	// linger while the withdrawal is still in flight.
+	eng.RegisterBoundary("session-withdrawal-completeness", func() *invariant.Violation {
+		for _, sp := range speakers {
+			t := sp.Table(s.Dest)
+			if t == nil {
+				continue
+			}
+			for _, u := range s.Graph.Neighbors(sp.ID()) {
+				if sp.PeerEstablished(u) {
+					continue
+				}
+				if p, ok := t.Received(u); ok {
+					return &invariant.Violation{
+						Node: int(sp.ID()), Peer: int(u),
+						Detail: fmt.Sprintf("adj-RIB-in still holds %v from peer %d whose session is down", p, u),
+					}
+				}
+			}
+		}
+		return nil
+	})
+
 	eng.SetStateDigest(func() []string {
 		out := make([]string, 0, len(speakers))
 		for _, sp := range speakers {

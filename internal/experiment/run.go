@@ -18,6 +18,7 @@ import (
 	"bgploop/internal/routing"
 	"bgploop/internal/topology"
 	"bgploop/internal/trace"
+	"bgploop/internal/transport"
 )
 
 // ErrNoQuiescence is returned when a simulation exceeds its event budget
@@ -73,6 +74,17 @@ type Result struct {
 	RoutesReused           int
 	FIBChanges             int
 	EventsExecuted         uint64
+
+	// Net is the network-layer message accounting, including the
+	// degraded-transport counters (drops, duplicates, reorders,
+	// retransmissions) — all zero on an ideal transport.
+	Net netsim.Stats
+	// Session FSM totals across all speakers (zero with the FSM off).
+	OpensSent            int
+	KeepalivesSent       int
+	KeepalivesSuppressed int
+	HoldExpiries         int
+	SessionsEstablished  int
 
 	// Phases holds the per-phase measurements of every measured fault-
 	// plan phase (the main phase included).
@@ -226,6 +238,12 @@ func RunContext(ctx context.Context, s Scenario) (res *Result, err error) {
 	sched := des.NewScheduler()
 	net := netsim.New(sched, s.Graph, s.LinkDelay)
 	rng := des.NewRNG(s.Seed)
+	if (s.Transport != nil && s.Transport.Active()) || plan.NeedsTransport() {
+		// The model draws only from its own named per-link streams, and an
+		// idle model draws nothing, so installing it cannot perturb any
+		// existing digest (pinned by TestTransportDisabledIsNoOp).
+		net.SetImpairment(transport.NewModel(rng, s.Transport))
+	}
 	obs := &observer{
 		dest:    s.Dest,
 		sched:   sched,
@@ -439,8 +457,14 @@ func RunContext(ctx context.Context, s Scenario) (res *Result, err error) {
 		res.AssertionInvalidations += st.AssertionInvalidations
 		res.RoutesSuppressed += st.RoutesSuppressed
 		res.RoutesReused += st.RoutesReused
+		res.OpensSent += st.OpensSent
+		res.KeepalivesSent += st.KeepalivesSent
+		res.KeepalivesSuppressed += st.KeepalivesSuppressed
+		res.HoldExpiries += st.HoldExpiries
+		res.SessionsEstablished += st.SessionsEstablished
 	}
 	res.UpdatesSent = res.Announcements + res.Withdrawals
+	res.Net = net.Stats()
 	return res, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"bgploop/internal/faultplan"
 	"bgploop/internal/invariant"
 	"bgploop/internal/topology"
+	"bgploop/internal/transport"
 )
 
 // EventKind selects the paper's topology-change event.
@@ -60,6 +61,13 @@ type Scenario struct {
 	TTL int
 	// LinkDelay is the propagation delay per link (2 ms if zero).
 	LinkDelay time.Duration
+	// Transport, when non-nil and active, impairs every link from t=0
+	// (loss, duplication, reordering, jitter — see internal/transport).
+	// Nil or inactive leaves the transport ideal; the impairment layer is
+	// then a strict no-op and all digests match the pre-transport engine.
+	// Per-link, time-bounded impairments come from faultplan Degrade
+	// actions instead.
+	Transport *transport.Config
 	// SettleDelay separates initial convergence from the failure
 	// injection (1 s if zero).
 	SettleDelay time.Duration
@@ -145,6 +153,11 @@ func (s Scenario) Validate() error {
 	}
 	if s.Horizon < 0 {
 		return fmt.Errorf("experiment: negative horizon %v", s.Horizon)
+	}
+	if s.Transport != nil {
+		if err := s.Transport.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := s.Guard.Validate(); err != nil {
 		return err

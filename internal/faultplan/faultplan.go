@@ -25,6 +25,7 @@ import (
 	"bgploop/internal/des"
 	"bgploop/internal/netsim"
 	"bgploop/internal/topology"
+	"bgploop/internal/transport"
 )
 
 // Op enumerates the action kinds a plan can schedule.
@@ -55,6 +56,14 @@ const (
 	// of Link with Period between consecutive transitions, all compiled
 	// onto the scheduler when the action fires.
 	FlapLink
+	// Degrade installs the action's Impairment on Link (or on every link
+	// in Links — a correlated degradation group: one flaky fiber shared
+	// by several logical links). The link keeps carrying traffic, but
+	// lossy/duplicated/reordered/jittered, per internal/transport.
+	Degrade
+	// Undegrade removes the impairment override from Link (or Links),
+	// reverting to the scenario's base impairment or to a clean link.
+	Undegrade
 )
 
 var opNames = map[Op]string{
@@ -66,6 +75,8 @@ var opNames = map[Op]string{
 	GroupUp:      "groupUp",
 	SessionReset: "sessionReset",
 	FlapLink:     "flapLink",
+	Degrade:      "degrade",
+	Undegrade:    "undegrade",
 }
 
 // String names the op as in the JSON scenario schema.
@@ -79,7 +90,7 @@ func (o Op) String() string {
 // OpFromString parses the JSON scenario schema's op name.
 func OpFromString(s string) (Op, error) {
 	// Small fixed table; iterate ops in declaration order, not map order.
-	for op := LinkDown; op <= FlapLink; op++ {
+	for op := LinkDown; op <= Undegrade; op++ {
 		if opNames[op] == s {
 			return op, nil
 		}
@@ -104,6 +115,18 @@ type Action struct {
 	// Cycles and Period parameterise FlapLink.
 	Cycles int
 	Period time.Duration
+	// Impairment parameterises Degrade (required there, forbidden
+	// elsewhere). Undegrade needs no config: it removes the override.
+	Impairment *transport.Config
+}
+
+// targets returns the action's affected links for ops that accept either
+// a single Link or a Links group (Degrade, Undegrade).
+func (a Action) targets() []topology.Edge {
+	if len(a.Links) > 0 {
+		return a.Links
+	}
+	return []topology.Edge{a.Link}
 }
 
 // String renders the action for diagnostics.
@@ -117,6 +140,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("%s %v", a.Op, a.Links)
 	case FlapLink:
 		return fmt.Sprintf("%s %v x%d every %v", a.Op, a.Link, a.Cycles, a.Period)
+	case Degrade, Undegrade:
+		return fmt.Sprintf("%s %v", a.Op, a.targets())
 	default:
 		return a.Op.String()
 	}
@@ -154,6 +179,22 @@ func (a Action) Validate(g *topology.Graph) error {
 		}
 		if a.Period <= 0 {
 			return fmt.Errorf("faultplan: %s needs a positive period, got %v", a.Op, a.Period)
+		}
+	case Degrade, Undegrade:
+		for _, e := range a.targets() {
+			if !g.HasEdge(e.A, e.B) {
+				return fmt.Errorf("faultplan: %s link %v not in topology", a.Op, e)
+			}
+		}
+		if a.Op == Degrade {
+			if a.Impairment == nil {
+				return fmt.Errorf("faultplan: %s without an impairment config", a.Op)
+			}
+			if err := a.Impairment.Validate(); err != nil {
+				return fmt.Errorf("faultplan: %s: %w", a.Op, err)
+			}
+		} else if a.Impairment != nil {
+			return fmt.Errorf("faultplan: %s carries an impairment config", a.Op)
 		}
 	default:
 		return fmt.Errorf("faultplan: unknown op %d", int(a.Op))
@@ -193,9 +234,31 @@ func (a Action) Schedule(net *netsim.Network, at des.Time) error {
 			}
 		}
 		return nil
+	case Degrade:
+		return net.DegradeLinks(at, a.targets(), *a.Impairment)
+	case Undegrade:
+		return net.RestoreImpairments(at, a.targets())
 	default:
 		return fmt.Errorf("faultplan: unknown op %d", int(a.Op))
 	}
+}
+
+// NeedsTransport reports whether any action in the plan requires an
+// installed impairment model (Degrade/Undegrade); the experiment harness
+// uses it to install a model even when the scenario has no base
+// impairment.
+func (p *Plan) NeedsTransport() bool {
+	if p == nil {
+		return false
+	}
+	for _, ph := range p.Phases {
+		for _, a := range ph.Actions {
+			if a.Op == Degrade || a.Op == Undegrade {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Role tags a measured phase so the experiment harness can map it onto the
@@ -336,6 +399,22 @@ func ResetSession(e topology.Edge) Action { return Action{Op: SessionReset, Link
 func Flap(e topology.Edge, cycles int, period time.Duration) Action {
 	return Action{Op: FlapLink, Link: e, Cycles: cycles, Period: period}
 }
+
+// DegradeLink installs impairment cfg on link e.
+func DegradeLink(e topology.Edge, cfg transport.Config) Action {
+	c := cfg
+	return Action{Op: Degrade, Link: e, Impairment: &c}
+}
+
+// DegradeGroup installs impairment cfg on every listed link in one
+// correlated instant.
+func DegradeGroup(cfg transport.Config, links ...topology.Edge) Action {
+	c := cfg
+	return Action{Op: Degrade, Links: links, Impairment: &c}
+}
+
+// RestoreImpairment removes link e's impairment override.
+func RestoreImpairment(e topology.Edge) Action { return Action{Op: Undegrade, Link: e} }
 
 // AtOffset returns the action shifted to fire at offset d within its
 // phase.

@@ -64,6 +64,53 @@ func TestChannelFIFO(t *testing.T) {
 	}
 }
 
+// TestFIFOEpochExemption checks the per-session-epoch reading of the FIFO
+// invariant: a session transition resets the watermark, so an older id
+// delivered in a *new* epoch is legal, while the same inversion within one
+// epoch stays a violation (TestChannelFIFO).
+func TestFIFOEpochExemption(t *testing.T) {
+	e := New(Config{Cadence: CadenceFull})
+	e.NoteSend(0, 1, 2, 10)
+	e.NoteSend(0, 1, 2, 11)
+	e.NoteDeliver(time.Second, 1, 2, 11)
+	// Session bounce between the deliveries: new epoch, new watermark.
+	e.NoteSessionDown(2*time.Second, 1, 2)
+	e.NoteSessionUp(2*time.Second, 1, 2)
+	e.NoteDeliver(3*time.Second, 1, 2, 10)
+	if err := e.Err(); err != nil {
+		t.Fatalf("cross-epoch delivery flagged: %v", err)
+	}
+	// Within the new epoch the contract applies again.
+	e.NoteDeliver(4*time.Second, 1, 2, 10)
+	mustViolation(t, e, "channel-fifo")
+}
+
+// TestRegisterBoundary checks boundary-only checks run at PhaseBoundary
+// and never during sweeps.
+func TestRegisterBoundary(t *testing.T) {
+	e := New(Config{Cadence: CadenceFull})
+	calls := 0
+	e.RegisterBoundary("session-withdrawal-completeness", func() *Violation {
+		calls++
+		return &Violation{Node: 1, Peer: 2, Detail: "stale route"}
+	})
+	e.NoteExec(time.Second) // full-cadence sweep: boundary checks must not run
+	if calls != 0 {
+		t.Fatalf("boundary check ran during a sweep (%d calls)", calls)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("premature violation: %v", err)
+	}
+	e.PhaseBoundary(2*time.Second, "main")
+	if calls != 1 {
+		t.Fatalf("boundary check ran %d times at the boundary, want 1", calls)
+	}
+	ve := mustViolation(t, e, "session-withdrawal-completeness")
+	if ve.V.At != 2*time.Second {
+		t.Fatalf("violation At = %v, want the boundary instant", ve.V.At)
+	}
+}
+
 func TestConservationInequality(t *testing.T) {
 	e := New(Config{Cadence: CadencePhase})
 	// Deliver a message that was never sent: delivered > sent.

@@ -6,6 +6,15 @@
 // DES kernel breaks timestamp ties in insertion order, so messages sent
 // over one link arrive exactly in the order they were sent — the in-order
 // guarantee TCP provides to BGP.
+//
+// With an impairment model installed (SetImpairment), links may addition-
+// ally lose, duplicate, reorder, and jitter segments. Loss is masked by
+// the TCP abstraction — it becomes retransmission delay, computed
+// analytically at send time by internal/transport — and the in-order
+// contract is preserved per session epoch by clamping each directed
+// link's delivery times to be non-decreasing. A session transition (link
+// failure, restore, or KillSession) starts a new epoch: in-flight
+// messages are destroyed with the TCP connection and the clamp resets.
 package netsim
 
 import (
@@ -16,6 +25,7 @@ import (
 	"bgploop/internal/core/sortedmap"
 	"bgploop/internal/des"
 	"bgploop/internal/topology"
+	"bgploop/internal/transport"
 )
 
 // DefaultLinkDelay is the paper's link propagation delay (§4.2: "We set the
@@ -40,11 +50,18 @@ type Handler interface {
 	PeerUp(peer topology.Node)
 }
 
-// Stats counts network-level message events.
+// Stats counts network-level message events. At quiescence (empty event
+// queue) Sent == Delivered + Lost holds exactly; Dropped is the subset of
+// Lost destroyed by the transport itself rather than by a failure event.
 type Stats struct {
 	Sent      int // messages accepted for delivery
-	Delivered int // messages handed to the destination handler
-	Lost      int // in-flight messages destroyed by a link failure
+	Delivered int // messages that reached their endpoint
+	Lost      int // messages destroyed in flight (failures + transport drops)
+	// Impairment counters (zero without a transport model).
+	Dropped       int // messages whose retransmission budget ran out (⊆ Lost)
+	Duplicated    int // duplicate segments absorbed by the receiver's TCP
+	Reordered     int // segments that drew a detour and were resequenced
+	Retransmitted int // total TCP retransmission attempts
 }
 
 // Tap observes every message and session transition on the network. It
@@ -68,6 +85,20 @@ type Tap interface {
 	SessionUp(a, b topology.Node)
 }
 
+// DegradeAware is an optional Handler extension: handlers implementing it
+// are told when a link's impairment starts or clears, so the BGP session
+// layer can arm its hold/keepalive machinery only while the transport is
+// actually degraded (see transport.Model.Impaired for why).
+type DegradeAware interface {
+	// LinkDegraded fires when the link to peer gains an active impairment.
+	LinkDegraded(peer topology.Node)
+	// LinkImpairmentCleared fires when the link to peer reverts to clean.
+	LinkImpairmentCleared(peer topology.Node)
+}
+
+// dirChan identifies one direction of a link for the in-order clamp.
+type dirChan struct{ from, to topology.Node }
+
 // Network connects handlers according to a topology graph and delivers
 // payloads between them with per-link delay.
 type Network struct {
@@ -82,6 +113,12 @@ type Network struct {
 	// dies with the link).
 	inflight map[topology.Edge]map[uint64]des.Handle
 	nextID   uint64
+
+	// imp, when non-nil, impairs sends; lastArrival is the per-directed-
+	// link delivery-time clamp that preserves the in-order contract per
+	// session epoch under retransmission and reordering delays.
+	imp         *transport.Model
+	lastArrival map[dirChan]des.Time
 
 	stats Stats
 	tap   Tap
@@ -120,6 +157,22 @@ func (n *Network) Stats() Stats { return n.stats }
 // SetTap installs (or, with nil, removes) the observation tap.
 func (n *Network) SetTap(t Tap) { n.tap = t }
 
+// SetImpairment installs (or, with nil, removes) the transport impairment
+// model. An installed model whose links are all clean is a strict no-op:
+// it draws nothing and schedules deliveries at exactly the legacy times.
+func (n *Network) SetImpairment(m *transport.Model) {
+	n.imp = m
+	if m != nil && n.lastArrival == nil {
+		n.lastArrival = make(map[dirChan]des.Time)
+	}
+}
+
+// Impaired reports whether the (a, b) link currently has an active
+// impairment.
+func (n *Network) Impaired(a, b topology.Node) bool {
+	return n.imp != nil && n.imp.Impaired(a, b)
+}
+
 // LinkUp reports whether the (a, b) link exists and has not failed.
 func (n *Network) LinkUp(a, b topology.Node) bool {
 	e := topology.NormEdge(a, b)
@@ -138,7 +191,11 @@ func (n *Network) UpNeighbors(v topology.Node) []topology.Node {
 }
 
 // Send schedules payload for delivery from 'from' to 'to' after the link
-// delay. It returns ErrLinkDown if the link is absent or failed.
+// delay (plus any impairment delay — retransmissions, reordering detours,
+// jitter — resolved by the transport model). It returns ErrLinkDown if
+// the link is absent or failed. A message whose retransmission budget the
+// model exhausts is accepted and silently dropped, like the TCP
+// connection it models: the sender learns nothing at send time.
 func (n *Network) Send(from, to topology.Node, payload any) error {
 	if !n.LinkUp(from, to) {
 		return fmt.Errorf("%w: %v", ErrLinkDown, topology.NormEdge(from, to))
@@ -146,7 +203,43 @@ func (n *Network) Send(from, to topology.Node, payload any) error {
 	e := topology.NormEdge(from, to)
 	id := n.nextID
 	n.nextID++
-	h, err := n.sched.After(n.delay, func() {
+	arrive := n.sched.Now() + n.delay
+	if n.imp != nil {
+		out := n.imp.Plan(from, to)
+		n.stats.Retransmitted += out.Retransmits
+		if out.Duplicated {
+			n.stats.Duplicated++
+		}
+		if out.Reordered {
+			n.stats.Reordered++
+		}
+		if out.Dropped {
+			// Counted as sent-and-lost in the same instant so message
+			// conservation (sent == delivered + lost) stays exact.
+			n.stats.Sent++
+			n.stats.Dropped++
+			n.stats.Lost++
+			if n.tap != nil {
+				n.tap.MessageSent(from, to, id)
+				n.tap.MessageLost(e.A, e.B, id)
+			}
+			return nil
+		}
+		arrive += out.Delay
+		// In-order clamp: a message may not overtake its predecessors on
+		// the same directed link — TCP's receive buffer resequences late
+		// segments. The clamp persists across Degrade/Restore (same TCP
+		// connection) and resets on session transitions (new epoch).
+		dc := dirChan{from, to}
+		if last, ok := n.lastArrival[dc]; ok && arrive < last {
+			arrive = last
+		}
+		n.lastArrival[dc] = arrive
+	}
+	// Unreachability justification: arrive >= Now by construction (non-
+	// negative delays, clamp only moves arrivals later), so At cannot
+	// fail with an in-the-past error.
+	h, err := n.sched.At(arrive, func() {
 		n.deliver(e, id, from, to, payload)
 	})
 	if err != nil {
@@ -165,6 +258,10 @@ func (n *Network) Send(from, to topology.Node, payload any) error {
 
 func (n *Network) deliver(e topology.Edge, id uint64, from, to topology.Node, payload any) {
 	delete(n.inflight[e], id)
+	// Delivered counts endpoint arrivals whether or not a handler is
+	// attached, so Sent == Delivered + Lost + Dropped holds at quiescence
+	// (it previously under-counted handler-less deliveries).
+	n.stats.Delivered++
 	if n.tap != nil {
 		n.tap.MessageDelivered(from, to, id)
 	}
@@ -172,7 +269,6 @@ func (n *Network) deliver(e topology.Edge, id uint64, from, to topology.Node, pa
 	if h == nil {
 		return
 	}
-	n.stats.Delivered++
 	h.Deliver(from, payload)
 }
 
@@ -254,6 +350,141 @@ func (n *Network) resetSessionNow(a, b topology.Node) {
 	n.restoreLinkNow(e.A, e.B)
 }
 
+// KillSession destroys the transport session on the up link (a, b) at the
+// current instant, without touching the physical link: in-flight messages
+// die with the TCP connection, the in-order clamp resets (a new session is
+// a new epoch), and the tap sees SessionDown. Unlike a link failure the
+// endpoints get no PeerDown — the BGP session FSM calls this from its own
+// teardown (hold-timer expiry, peer-restart detection) and handles the
+// protocol consequences itself. Killing a failed or absent link is a
+// no-op. This runs immediately (not scheduled): it is invoked from inside
+// event handlers at the instant the FSM decides the session is dead.
+func (n *Network) KillSession(a, b topology.Node) {
+	e := topology.NormEdge(a, b)
+	if !n.graph.HasEdge(a, b) || n.down[e] {
+		return
+	}
+	n.dropInflight(e)
+	n.resetEpoch(e)
+	if n.tap != nil {
+		n.tap.SessionDown(e.A, e.B)
+	}
+}
+
+// SessionEstablished reports a session-layer establishment on the up link
+// (a, b) to the tap (SessionUp). The BGP session FSM calls it when a
+// handshake completes, so the invariant engine's per-session state (MRAI
+// windows, FIFO epochs) tracks FSM transitions as well as physical ones.
+// Both endpoints establish independently, so the tap may see the event
+// twice per handshake; observers must tolerate duplicates.
+func (n *Network) SessionEstablished(a, b topology.Node) {
+	e := topology.NormEdge(a, b)
+	if !n.graph.HasEdge(a, b) || n.down[e] {
+		return
+	}
+	if n.tap != nil {
+		n.tap.SessionUp(e.A, e.B)
+	}
+}
+
+// DegradeLinks schedules impairment cfg on every listed link at virtual
+// time 'at' — a correlated degradation group (one flaky fiber, several
+// logical links). Requires an installed impairment model.
+func (n *Network) DegradeLinks(at des.Time, links []topology.Edge, cfg transport.Config) error {
+	if n.imp == nil {
+		return errors.New("netsim: DegradeLinks without an impairment model (SetImpairment)")
+	}
+	group := append([]topology.Edge(nil), links...)
+	if _, err := n.sched.At(at, func() {
+		for _, e := range group {
+			n.degradeLinkNow(e, cfg)
+		}
+	}); err != nil {
+		return fmt.Errorf("netsim: schedule degrade: %w", err)
+	}
+	return nil
+}
+
+// RestoreImpairments schedules the removal of every listed link's
+// impairment override at virtual time 'at', reverting each to the base
+// impairment (or to a clean link when there is none).
+func (n *Network) RestoreImpairments(at des.Time, links []topology.Edge) error {
+	if n.imp == nil {
+		return errors.New("netsim: RestoreImpairments without an impairment model (SetImpairment)")
+	}
+	group := append([]topology.Edge(nil), links...)
+	if _, err := n.sched.At(at, func() {
+		for _, e := range group {
+			n.restoreImpairmentNow(e)
+		}
+	}); err != nil {
+		return fmt.Errorf("netsim: schedule impairment restore: %w", err)
+	}
+	return nil
+}
+
+func (n *Network) degradeLinkNow(e topology.Edge, cfg transport.Config) {
+	if !n.graph.HasEdge(e.A, e.B) {
+		return
+	}
+	was := n.imp.Impaired(e.A, e.B)
+	n.imp.Degrade(e, cfg)
+	n.notifyImpairment(e, was, n.imp.Impaired(e.A, e.B))
+}
+
+func (n *Network) restoreImpairmentNow(e topology.Edge) {
+	if !n.graph.HasEdge(e.A, e.B) {
+		return
+	}
+	was := n.imp.Impaired(e.A, e.B)
+	n.imp.Restore(e)
+	n.notifyImpairment(e, was, n.imp.Impaired(e.A, e.B))
+}
+
+// notifyImpairment tells DegradeAware handlers about an impairment edge
+// transition (degraded <-> clean). No-op while the link is down: the
+// handlers' sessions are already torn down and re-establishment will
+// re-read the impairment state.
+func (n *Network) notifyImpairment(e topology.Edge, was, now bool) {
+	if was == now || n.down[e] {
+		return
+	}
+	for _, pair := range [2][2]topology.Node{{e.A, e.B}, {e.B, e.A}} {
+		if da, ok := n.handlers[pair[0]].(DegradeAware); ok {
+			if now {
+				da.LinkDegraded(pair[1])
+			} else {
+				da.LinkImpairmentCleared(pair[1])
+			}
+		}
+	}
+}
+
+// dropInflight destroys every undelivered message on link e.
+func (n *Network) dropInflight(e topology.Edge) {
+	// Sorted iteration keeps the cancellation order — and with it the
+	// Lost counter's evolution — identical across runs of the same seed.
+	for _, id := range sortedmap.Keys(n.inflight[e]) {
+		if n.inflight[e][id].Cancel() {
+			n.stats.Lost++
+			if n.tap != nil {
+				n.tap.MessageLost(e.A, e.B, id)
+			}
+		}
+		delete(n.inflight[e], id)
+	}
+}
+
+// resetEpoch clears both directions' in-order clamps: the next session
+// over the link is a new epoch and owes no ordering to the old one.
+func (n *Network) resetEpoch(e topology.Edge) {
+	if n.lastArrival == nil {
+		return
+	}
+	delete(n.lastArrival, dirChan{e.A, e.B})
+	delete(n.lastArrival, dirChan{e.B, e.A})
+}
+
 // RestoreLink schedules the repair of link (a, b) at virtual time 'at':
 // the link carries traffic again and both endpoints receive PeerUp.
 // Restoring a link that is up or absent is a scheduled no-op.
@@ -283,6 +514,7 @@ func (n *Network) restoreLinkNow(a, b topology.Node) {
 		return
 	}
 	delete(n.down, e)
+	n.resetEpoch(e) // a restored link starts a fresh session epoch
 	if n.tap != nil {
 		n.tap.SessionUp(e.A, e.B)
 	}
@@ -300,17 +532,8 @@ func (n *Network) failLinkNow(a, b topology.Node) {
 		return
 	}
 	n.down[e] = true
-	// Sorted iteration keeps the cancellation order — and with it the
-	// Lost counter's evolution — identical across runs of the same seed.
-	for _, id := range sortedmap.Keys(n.inflight[e]) {
-		if n.inflight[e][id].Cancel() {
-			n.stats.Lost++
-			if n.tap != nil {
-				n.tap.MessageLost(e.A, e.B, id)
-			}
-		}
-		delete(n.inflight[e], id)
-	}
+	n.dropInflight(e)
+	n.resetEpoch(e)
 	if n.tap != nil {
 		n.tap.SessionDown(e.A, e.B)
 	}

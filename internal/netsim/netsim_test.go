@@ -258,13 +258,14 @@ func TestSendToUnattachedNode(t *testing.T) {
 	g := topology.Chain(2)
 	sched := des.NewScheduler()
 	net := New(sched, g, 0)
-	// No handlers attached: delivery must be a safe no-op.
+	// No handlers attached: delivery is a safe no-op for the payload, but
+	// the arrival still counts so Sent == Delivered + Lost holds exactly.
 	if err := net.Send(0, 1, "x"); err != nil {
 		t.Fatal(err)
 	}
 	sched.Run()
-	if s := net.Stats(); s.Delivered != 0 {
-		t.Errorf("delivered to unattached node: %+v", s)
+	if s := net.Stats(); s.Delivered != 1 || s.Sent != 1 || s.Lost != 0 {
+		t.Errorf("unattached delivery broke conservation: %+v", s)
 	}
 }
 

@@ -79,8 +79,9 @@ func TestTapSeesDeliveryWithoutHandler(t *testing.T) {
 	}
 	net := New(sched, g, 0)
 	net.Attach(0, &sinkHandler{})
-	// Node 1 has no handler: Stats.Delivered stays 0, but the message
-	// still left the channel — the tap must see it for conservation.
+	// Node 1 has no handler: the payload goes nowhere, but the message
+	// still left the channel — both tap and Stats.Delivered must see the
+	// arrival for conservation (Sent == Delivered + Lost).
 	tap := &recordingTap{}
 	net.SetTap(tap)
 	if err := net.Send(0, 1, "x"); err != nil {
@@ -90,7 +91,7 @@ func TestTapSeesDeliveryWithoutHandler(t *testing.T) {
 	if tap.delivered != 1 {
 		t.Fatalf("tap delivered = %d, want 1", tap.delivered)
 	}
-	if net.Stats().Delivered != 0 {
-		t.Fatalf("stats delivered = %d, want 0", net.Stats().Delivered)
+	if net.Stats().Delivered != 1 {
+		t.Fatalf("stats delivered = %d, want 1", net.Stats().Delivered)
 	}
 }

@@ -1,0 +1,256 @@
+// Package transport models the degraded transport layer under BGP: lossy,
+// duplicating, reordering, jittery links and the TCP abstraction that
+// masks them. BGP runs over TCP, so per-segment loss never surfaces as a
+// lost UPDATE — it surfaces as *delay* while TCP retransmits with
+// exponential RTO backoff. The model therefore resolves each message's
+// fate analytically at send time: a single delivery outcome carrying the
+// accumulated retransmission delay (or a drop, when the retry budget is
+// exhausted and the connection would have given up). This keeps the DES
+// event count at one event per message regardless of loss rate, and keeps
+// BGP's in-order contract intact per session epoch (netsim clamps per-
+// directed-link delivery times to be non-decreasing).
+//
+// Determinism contract: every random draw comes from a named per-directed-
+// link stream ("transport/link/<from>-<to>") of the run's des.RNG, drawn
+// in kernel event order. Impairing one link never perturbs the draws of
+// another, and a Config whose Active() is false draws nothing at all — an
+// installed-but-idle model is byte-identical to no model (pinned by
+// experiment's no-op digest test).
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+// Defaults for the TCP retransmission model (RFC 6298 shaped, scaled to
+// the simulator's second-granularity timers).
+const (
+	// DefaultRTOInitial is the first retransmission timeout.
+	DefaultRTOInitial = time.Second
+	// DefaultRTOMax caps the exponential RTO backoff.
+	DefaultRTOMax = 60 * time.Second
+	// DefaultMaxRetries bounds retransmissions per segment; beyond it the
+	// segment (and in a real stack, the connection) is given up on.
+	DefaultMaxRetries = 6
+)
+
+// Config describes one link's impairment. The zero value is a clean link:
+// Active() reports false and the model draws nothing for it.
+type Config struct {
+	// Loss is the per-transmission loss probability in [0, 1). Each lost
+	// transmission adds one RTO of delay and retransmits; after MaxRetries
+	// consecutive losses the message is dropped entirely.
+	Loss float64
+	// Duplicate is the probability a delivered segment arrives twice. The
+	// receiver's TCP discards the duplicate, so it is counted but never
+	// delivered twice.
+	Duplicate float64
+	// ReorderProb is the probability a segment takes a detour: it draws an
+	// extra delay uniform in [1ns, ReorderWindow]. The in-order clamp in
+	// netsim resequences it behind its predecessors, as TCP's receive
+	// buffer would.
+	ReorderProb float64
+	// ReorderWindow is the maximum detour delay of a reordered segment.
+	ReorderWindow time.Duration
+	// Jitter adds a uniform [0, Jitter] delay to every delivery.
+	Jitter time.Duration
+
+	// RTOInitial, RTOMax, and MaxRetries parameterise the retransmission
+	// model; zero values take the package defaults.
+	RTOInitial time.Duration
+	RTOMax     time.Duration
+	MaxRetries int
+}
+
+// Active reports whether the configuration impairs the link at all. An
+// inactive config consumes no random draws, making it byte-identical to
+// no impairment.
+func (c Config) Active() bool {
+	return c.Loss > 0 || c.Duplicate > 0 || c.ReorderProb > 0 || c.Jitter > 0
+}
+
+// WithDefaults fills the zero retransmission parameters.
+func (c Config) WithDefaults() Config {
+	if c.RTOInitial == 0 {
+		c.RTOInitial = DefaultRTOInitial
+	}
+	if c.RTOMax == 0 {
+		c.RTOMax = DefaultRTOMax
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("transport: loss probability %v outside [0, 1)", c.Loss)
+	}
+	if c.Duplicate < 0 || c.Duplicate > 1 {
+		return fmt.Errorf("transport: duplicate probability %v outside [0, 1]", c.Duplicate)
+	}
+	if c.ReorderProb < 0 || c.ReorderProb > 1 {
+		return fmt.Errorf("transport: reorder probability %v outside [0, 1]", c.ReorderProb)
+	}
+	if c.ReorderProb > 0 && c.ReorderWindow <= 0 {
+		return fmt.Errorf("transport: reorder probability %v needs a positive reorder window", c.ReorderProb)
+	}
+	if c.ReorderWindow < 0 || c.Jitter < 0 || c.RTOInitial < 0 || c.RTOMax < 0 {
+		return fmt.Errorf("transport: negative duration in impairment config")
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("transport: negative retry budget %d", c.MaxRetries)
+	}
+	d := c.WithDefaults()
+	if d.RTOMax < d.RTOInitial {
+		return fmt.Errorf("transport: RTO cap %v below initial RTO %v", d.RTOMax, d.RTOInitial)
+	}
+	return nil
+}
+
+// Outcome is the resolved fate of one message, computed at send time.
+type Outcome struct {
+	// Delay is the extra delivery delay beyond the link's propagation
+	// delay (retransmissions + reorder detour + jitter).
+	Delay time.Duration
+	// Retransmits counts the retransmission attempts consumed.
+	Retransmits int
+	// Dropped marks a message whose retry budget ran out; it is never
+	// delivered.
+	Dropped bool
+	// Duplicated marks a message whose segment arrived twice (the
+	// duplicate is absorbed, not delivered).
+	Duplicated bool
+	// Reordered marks a message that drew a detour delay.
+	Reordered bool
+}
+
+// Model holds the per-link impairment state of one run: an optional base
+// config applied to every link, per-link overrides installed by Degrade,
+// and the lazily-created named RNG stream per directed link.
+type Model struct {
+	rng     *des.RNG
+	base    *Config
+	links   map[topology.Edge]*Config
+	streams map[uint64]*rand.Rand
+}
+
+// NewModel creates a model over the run's stream factory. base, when
+// non-nil, impairs every link from t=0; Degrade overrides it per link.
+// The base config is defaulted and must be pre-validated by the caller.
+func NewModel(rng *des.RNG, base *Config) *Model {
+	m := &Model{
+		rng:     rng,
+		links:   make(map[topology.Edge]*Config),
+		streams: make(map[uint64]*rand.Rand),
+	}
+	if base != nil && base.Active() {
+		b := base.WithDefaults()
+		m.base = &b
+	}
+	return m
+}
+
+// Degrade installs cfg as the impairment of link e (both directions),
+// replacing the base config and any previous override.
+func (m *Model) Degrade(e topology.Edge, cfg Config) {
+	c := cfg.WithDefaults()
+	m.links[e] = &c
+}
+
+// Restore removes link e's override, reverting it to the base config
+// (or to a clean link when there is none).
+func (m *Model) Restore(e topology.Edge) {
+	delete(m.links, e)
+}
+
+// Impaired reports whether the (a, b) link currently has an active
+// impairment. The BGP session layer uses this to decide whether the
+// hold/keepalive machinery is live on a session (on a clean link,
+// delivery is reliable and in-order by construction, so keepalives are
+// provably redundant and the simulator elides them — otherwise periodic
+// keepalive events would keep every run from ever quiescing).
+func (m *Model) Impaired(a, b topology.Node) bool {
+	return m.configFor(a, b) != nil
+}
+
+// configFor returns the active config of the a->b link, or nil when the
+// link is clean.
+func (m *Model) configFor(a, b topology.Node) *Config {
+	if c, ok := m.links[topology.NormEdge(a, b)]; ok {
+		if c.Active() {
+			return c
+		}
+		return nil
+	}
+	return m.base // nil or active by construction
+}
+
+// dirStreamKey packs a directed link into a stream-cache key.
+func dirStreamKey(from, to topology.Node) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+func (m *Model) stream(from, to topology.Node) *rand.Rand {
+	k := dirStreamKey(from, to)
+	if r, ok := m.streams[k]; ok {
+		return r
+	}
+	r := m.rng.Stream(fmt.Sprintf("transport/link/%d-%d", from, to))
+	m.streams[k] = r
+	return r
+}
+
+// Plan resolves the fate of one message sent from -> to. For a clean link
+// it returns the zero Outcome without consuming any random draws. Draw
+// order per message is fixed (loss attempts, duplicate, reorder, jitter),
+// so outcomes are reproducible in kernel event order.
+func (m *Model) Plan(from, to topology.Node) Outcome {
+	cfg := m.configFor(from, to)
+	if cfg == nil {
+		return Outcome{}
+	}
+	r := m.stream(from, to)
+	var out Outcome
+	if cfg.Loss > 0 {
+		for r.Float64() < cfg.Loss {
+			if out.Retransmits == cfg.MaxRetries {
+				out.Dropped = true
+				return out
+			}
+			out.Delay += rto(cfg, out.Retransmits)
+			out.Retransmits++
+		}
+	}
+	if cfg.Duplicate > 0 && r.Float64() < cfg.Duplicate {
+		out.Duplicated = true
+	}
+	if cfg.ReorderProb > 0 && r.Float64() < cfg.ReorderProb {
+		out.Reordered = true
+		out.Delay += des.Uniform(r, 1, cfg.ReorderWindow)
+	}
+	if cfg.Jitter > 0 {
+		out.Delay += des.Uniform(r, 0, cfg.Jitter)
+	}
+	return out
+}
+
+// rto returns the timeout of retransmission attempt i (0-based) with
+// exponential backoff capped at RTOMax.
+func rto(cfg *Config, i int) time.Duration {
+	if i > 62 {
+		return cfg.RTOMax
+	}
+	d := cfg.RTOInitial << uint(i)
+	if d <= 0 || d > cfg.RTOMax {
+		return cfg.RTOMax
+	}
+	return d
+}

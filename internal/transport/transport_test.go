@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"bgploop/internal/des"
+	"bgploop/internal/topology"
+)
+
+func edge(a, b int) topology.Edge {
+	return topology.NormEdge(topology.Node(a), topology.Node(b))
+}
+
+func TestConfigActiveAndDefaults(t *testing.T) {
+	if (Config{}).Active() {
+		t.Error("zero config reports active")
+	}
+	if (Config{RTOInitial: time.Second, MaxRetries: 3}).Active() {
+		t.Error("retransmission parameters alone must not activate a link")
+	}
+	for _, c := range []Config{
+		{Loss: 0.1}, {Duplicate: 0.1}, {ReorderProb: 0.1, ReorderWindow: time.Second}, {Jitter: time.Millisecond},
+	} {
+		if !c.Active() {
+			t.Errorf("config %+v reports inactive", c)
+		}
+	}
+	d := Config{Loss: 0.5}.WithDefaults()
+	if d.RTOInitial != DefaultRTOInitial || d.RTOMax != DefaultRTOMax || d.MaxRetries != DefaultMaxRetries {
+		t.Errorf("defaults not applied: %+v", d)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{}, {Loss: 0.99}, {Duplicate: 1}, {ReorderProb: 0.5, ReorderWindow: time.Second},
+		{Loss: 0.2, RTOInitial: time.Second, RTOMax: 8 * time.Second, MaxRetries: 4},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{Loss: 1}, {Loss: -0.1}, {Duplicate: 1.5}, {ReorderProb: 0.5},
+		{ReorderProb: -1, ReorderWindow: time.Second}, {Jitter: -time.Second},
+		{MaxRetries: -1}, {RTOInitial: 10 * time.Second, RTOMax: time.Second},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+// TestCleanLinkDrawsNothing pins the no-op contract: a model with no base
+// config, or an inactive override, resolves every message to the zero
+// outcome without consuming random draws (so installing the model cannot
+// perturb any other stream or any existing digest).
+func TestCleanLinkDrawsNothing(t *testing.T) {
+	m := NewModel(des.NewRNG(1), nil)
+	for i := 0; i < 100; i++ {
+		if out := m.Plan(0, 1); out != (Outcome{}) {
+			t.Fatalf("clean link produced non-zero outcome %+v", out)
+		}
+	}
+	if len(m.streams) != 0 {
+		t.Fatalf("clean link created %d RNG streams, want 0", len(m.streams))
+	}
+	m.Degrade(edge(0, 1), Config{}) // inactive override
+	if out := m.Plan(0, 1); out != (Outcome{}) {
+		t.Fatalf("inactive override produced non-zero outcome %+v", out)
+	}
+	if m.Impaired(0, 1) {
+		t.Error("inactive override reports impaired")
+	}
+}
+
+// TestPerLinkStreamIsolation pins the named-stream contract: outcomes on
+// one directed link are identical whether or not another link is also
+// impaired and consuming draws.
+func TestPerLinkStreamIsolation(t *testing.T) {
+	cfg := Config{Loss: 0.3, Jitter: 50 * time.Millisecond}
+	alone := NewModel(des.NewRNG(42), nil)
+	alone.Degrade(edge(0, 1), cfg)
+	both := NewModel(des.NewRNG(42), nil)
+	both.Degrade(edge(0, 1), cfg)
+	both.Degrade(edge(2, 3), cfg)
+	for i := 0; i < 200; i++ {
+		both.Plan(2, 3) // interleaved draws on the other link
+		a, b := alone.Plan(0, 1), both.Plan(0, 1)
+		if a != b {
+			t.Fatalf("message %d: outcome %+v with one link != %+v with two", i, a, b)
+		}
+	}
+}
+
+// TestDirectedStreamsIndependent checks the two directions of one link
+// draw from distinct streams.
+func TestDirectedStreamsIndependent(t *testing.T) {
+	m := NewModel(des.NewRNG(7), &Config{Jitter: time.Second})
+	same := true
+	for i := 0; i < 50; i++ {
+		if m.Plan(0, 1) != m.Plan(1, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("forward and reverse streams produced identical outcomes; directions must be independent")
+	}
+}
+
+// TestRetransmissionDelay checks the loss -> delay conversion: with
+// Loss=1 every message exhausts its retry budget and drops; with a seeded
+// stream the retransmit count matches the accumulated RTO backoff delay.
+func TestRetransmissionDelay(t *testing.T) {
+	m := NewModel(des.NewRNG(3), nil)
+	m.Degrade(edge(0, 1), Config{Loss: 0.6, RTOInitial: time.Second, RTOMax: 4 * time.Second, MaxRetries: 10})
+	sawRetransmit := false
+	for i := 0; i < 500; i++ {
+		out := m.Plan(0, 1)
+		if out.Dropped {
+			if out.Retransmits != 10 {
+				t.Fatalf("dropped after %d retransmits, want the full budget 10", out.Retransmits)
+			}
+			continue
+		}
+		var want time.Duration
+		for j := 0; j < out.Retransmits; j++ {
+			r := time.Second << uint(j)
+			if r > 4*time.Second {
+				r = 4 * time.Second
+			}
+			want += r
+		}
+		if out.Delay != want {
+			t.Fatalf("retransmits=%d delay=%v, want %v (no jitter configured)", out.Retransmits, out.Delay, want)
+		}
+		if out.Retransmits > 0 {
+			sawRetransmit = true
+		}
+	}
+	if !sawRetransmit {
+		t.Error("0.6 loss never retransmitted in 500 messages")
+	}
+}
+
+func TestMaxRetriesZeroBudgetDropsOnFirstLoss(t *testing.T) {
+	m := NewModel(des.NewRNG(9), nil)
+	// MaxRetries zero takes the default budget; use an explicit tiny one.
+	m.Degrade(edge(0, 1), Config{Loss: 0.9999999, MaxRetries: 1, RTOInitial: time.Second})
+	dropped := 0
+	for i := 0; i < 100; i++ {
+		out := m.Plan(0, 1)
+		if out.Dropped {
+			dropped++
+			if out.Retransmits != 1 {
+				t.Fatalf("dropped with %d retransmits, want 1", out.Retransmits)
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Error("near-certain loss never dropped a message")
+	}
+}
+
+// TestDegradeRestoreOverride checks override precedence: Degrade replaces
+// the base config, Restore reverts to it.
+func TestDegradeRestoreOverride(t *testing.T) {
+	base := Config{Jitter: time.Millisecond}
+	m := NewModel(des.NewRNG(11), &base)
+	if !m.Impaired(0, 1) {
+		t.Fatal("base config not applied")
+	}
+	m.Degrade(edge(0, 1), Config{Loss: 0.999999, MaxRetries: 1})
+	sawDrop := false
+	for i := 0; i < 200; i++ {
+		if m.Plan(0, 1).Dropped {
+			sawDrop = true
+			break
+		}
+	}
+	if !sawDrop {
+		t.Fatal("override config not applied")
+	}
+	m.Restore(edge(0, 1))
+	if !m.Impaired(0, 1) {
+		t.Fatal("restore must revert to the base config, not to a clean link")
+	}
+	for i := 0; i < 200; i++ {
+		if out := m.Plan(0, 1); out.Dropped || out.Retransmits > 0 {
+			t.Fatal("base config must not drop or retransmit (jitter only)")
+		}
+	}
+	m2 := NewModel(des.NewRNG(11), nil)
+	m2.Degrade(edge(0, 1), Config{Loss: 0.5})
+	m2.Restore(edge(0, 1))
+	if m2.Impaired(0, 1) {
+		t.Error("restore without a base config must yield a clean link")
+	}
+}
+
+func TestRTOBackoffCap(t *testing.T) {
+	cfg := (&Config{Loss: 0.5, RTOInitial: time.Second, RTOMax: 8 * time.Second}).WithDefaults()
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second}
+	for i, w := range want {
+		if got := rto(&cfg, i); got != w {
+			t.Errorf("rto(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := rto(&cfg, 100); got != 8*time.Second {
+		t.Errorf("rto(100) = %v, want the cap", got)
+	}
+}
