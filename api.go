@@ -56,8 +56,11 @@ type (
 	// SweepOptions tunes trial sweeps: failure policy, worker count,
 	// result cache, and checkpoint/resume.
 	SweepOptions = experiment.SweepOptions
-	// SweepStats counts how each trial of a sweep was satisfied
-	// (simulated, cache hit, journal resume, failed, canceled).
+	// SweepStats counts how each trial of a sweep was satisfied: Executed
+	// simulations, CacheHits/CacheMisses against the content-addressed
+	// store, Resumed journal entries, Deduped in-flight shares, and the
+	// Failed/Canceled/Skipped remainder. CacheHitRatio() summarizes the
+	// store's effectiveness; bgpd exposes the same counters on /metrics.
 	SweepStats = sweep.Stats
 	// Generator produces the scenario for trial i of a sweep.
 	Generator = experiment.Generator
@@ -128,9 +131,11 @@ func RunContext(ctx context.Context, s Scenario) (*Report, error) {
 func Repeat(s Scenario) Generator { return experiment.Repeat(s) }
 
 // RunSweep fans trials across the parallel sweep executor — workers,
-// content-addressed result cache, and checkpoint/resume are set via
-// SweepOptions — and aggregates the per-trial metrics. At every worker
-// width the outcome is byte-identical to the sequential path.
+// content-addressed result cache, checkpoint/resume, and in-flight
+// dedupe are set via SweepOptions — and aggregates the per-trial
+// metrics. At every worker width the outcome is byte-identical to the
+// sequential path. Guarded trials that fail write a forensic bundle
+// under <SweepOptions.CacheDir>/forensics/ for bgpsim -shrink.
 func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*TrialResult, SweepStats, error) {
 	return experiment.RunSweep(gen, trials, opts)
 }

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"bgploop/internal/buildinfo"
 	"bgploop/internal/experiment"
 	"bgploop/internal/figures"
 	"bgploop/internal/sweep"
@@ -36,6 +37,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bgpfig", flag.ContinueOnError)
 	var (
+		versionF = fs.Bool("version", false, "print the build-info stamp (module version, VCS revision) and exit")
+
 		fig    = fs.String("fig", "", "figure ID (4a..9d), comma-separated list, or 'all'")
 		quick  = fs.Bool("quick", false, "use the reduced smoke-test grid instead of paper scale")
 		csv    = fs.Bool("csv", false, "emit CSV")
@@ -47,6 +50,10 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionF {
+		fmt.Println("bgpfig", buildinfo.Read())
+		return nil
 	}
 	if *resume && *cache == "" {
 		return fmt.Errorf("-resume requires -cache-dir")

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"bgploop/internal/bgp"
+	"bgploop/internal/buildinfo"
 	"bgploop/internal/core"
 	"bgploop/internal/experiment"
 	"bgploop/internal/invariant"
@@ -47,6 +48,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bgpsim", flag.ContinueOnError)
 	var (
+		versionF  = fs.Bool("version", false, "print the build-info stamp (module version, VCS revision) and exit")
+		digestF   = fs.Bool("digest", false, "print only the canonical result digest (single run) or aggregate digest (sweep) — the provenance handle bgpd serves")
 		scenarioF = fs.String("scenario", "", "run a JSON scenario file instead of building one from flags")
 		jsonOut   = fs.Bool("json", false, "emit the run summary as JSON")
 		topo      = fs.String("topo", "clique", "topology family: clique, bclique, chain, ring, figure1, figure2, internet")
@@ -79,6 +82,10 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionF {
+		fmt.Println("bgpsim", buildinfo.Read())
+		return nil
 	}
 
 	if *shrinkF != "" {
@@ -169,7 +176,7 @@ func run(args []string) error {
 		if *resume && *cacheDir == "" {
 			return fmt.Errorf("-resume needs -cache-dir (or set an explicit journal via the library API)")
 		}
-		return runSweep(ctx, scenario, *trials, *workers, *cacheDir, *resume, *csv, *jsonOut, *preflight != "")
+		return runSweep(ctx, scenario, *trials, *workers, *cacheDir, *resume, *csv, *jsonOut, *digestF, *preflight != "")
 	}
 
 	if *compare {
@@ -187,6 +194,16 @@ func run(args []string) error {
 	rep, err := core.RunContext(ctx, scenario)
 	if err != nil {
 		return err
+	}
+	if *digestF {
+		// The canonical result digest: byte-identical to what bgpd serves
+		// for the same spec and seed (the end-to-end parity contract).
+		d, err := experiment.DigestResult(&rep.Result)
+		if err != nil {
+			return err
+		}
+		fmt.Println(d)
+		return nil
 	}
 	if *jsonOut {
 		return rep.WriteJSON(os.Stdout)
@@ -304,7 +321,7 @@ func runShrink(path, outPath string, maxRuns int) error {
 // runSweep fans trials of the scenario (seeds seed, seed+1, ...) across
 // the parallel executor and prints the aggregate. The output is
 // byte-identical at every -j width.
-func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, cacheDir string, resume bool, csv, jsonOut, preflight bool) error {
+func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, cacheDir string, resume bool, csv, jsonOut, digest, preflight bool) error {
 	agg, _, stats, err := experiment.RunSweep(experiment.Repeat(s), trials, experiment.SweepOptions{
 		Workers:   workers,
 		CacheDir:  cacheDir,
@@ -314,6 +331,14 @@ func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, c
 	})
 	if err != nil {
 		return err
+	}
+	if digest {
+		d, err := experiment.DigestAggregate(agg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(d)
+		return nil
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)

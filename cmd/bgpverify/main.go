@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"bgploop/internal/bgp"
+	"bgploop/internal/buildinfo"
 	"bgploop/internal/experiment"
 	"bgploop/internal/safety"
 	"bgploop/internal/topology"
@@ -58,6 +59,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bgpverify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		versionF = fs.Bool("version", false, "print the build-info stamp (module version, VCS revision) and exit")
+
 		topo    = fs.String("topo", "", "built-in topology family: clique, bclique, chain, ring, star, figure1, figure2, internet")
 		size    = fs.Int("size", 10, "topology size parameter")
 		event   = fs.String("event", "tdown", "failure event for built-in topologies: tdown or tlong")
@@ -78,6 +81,10 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	if *versionF {
+		fmt.Fprintln(stdout, "bgpverify", buildinfo.Read())
+		return nil
 	}
 
 	var want safety.Verdict

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"bgploop/internal/analysis"
+	"bgploop/internal/buildinfo"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
 	var (
+		versionF = fs.Bool("version", false, "print the build-info stamp (module version, VCS revision) and exit")
+
 		list  = fs.Bool("list", false, "describe the analyzers and exit")
 		tests = fs.Bool("tests", false, "also analyze in-package _test.go files")
 		only  = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
@@ -52,6 +55,10 @@ func run(args []string, out io.Writer) (int, error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *versionF {
+		fmt.Fprintln(out, "detlint", buildinfo.Read())
+		return 0, nil
 	}
 
 	analyzers := analysis.DefaultAnalyzers()

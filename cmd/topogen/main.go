@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"bgploop/internal/buildinfo"
 	"bgploop/internal/topology"
 )
 
@@ -28,6 +29,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
 	var (
+		versionF = fs.Bool("version", false, "print the build-info stamp (module version, VCS revision) and exit")
+
 		topo  = fs.String("topo", "internet", "family: clique, bclique, chain, ring, star, figure1, figure2, internet")
 		size  = fs.Int("size", 29, "size parameter")
 		seed  = fs.Int64("seed", 1, "generator seed (internet only)")
@@ -38,6 +41,10 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionF {
+		fmt.Println("topogen", buildinfo.Read())
+		return nil
 	}
 
 	g, err := build(*topo, *size, *seed)

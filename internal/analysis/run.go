@@ -33,7 +33,10 @@ var (
 	// equality) but are the one simulation-adjacent scope allowed to use
 	// goroutines: each trial below them is still a single-threaded DES
 	// run, and the executor merges results by trial index.
-	harnessPackages = []string{"internal/sweep"}
+	// internal/serve (the bgpd service core) is held to the same bar:
+	// the daemon schedules and caches around the simulator, so wall
+	// clocks must arrive via the injected serve.Config.Now hook only.
+	harnessPackages = []string{"internal/serve", "internal/sweep"}
 	// staticPackages analyse scenario configs without running the kernel;
 	// their verdicts are cached content-addressed, so they are held to the
 	// same determinism bar as the simulation itself (a map-order-dependent

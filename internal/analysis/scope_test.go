@@ -22,19 +22,27 @@ func TestNoConcurrencyScopeCoversKernel(t *testing.T) {
 	}
 }
 
-// TestHarnessScopeDeterminismAnalyzers asserts internal/sweep is held to
-// the rest of the determinism contract: no wall clock, no global rand, no
-// map-order dependence, no exact float comparison.
+// TestHarnessScopeDeterminismAnalyzers asserts the harness packages —
+// internal/sweep (the trial executor) and internal/serve (the bgpd
+// service core) — are held to the rest of the determinism contract: no
+// wall clock, no global rand, no map-order dependence, no exact float
+// comparison. For internal/serve the norealtime pin is what forces the
+// daemon's clock through the injected serve.Config.Now hook.
 func TestHarnessScopeDeterminismAnalyzers(t *testing.T) {
-	for _, a := range []*Analyzer{
-		NoRealTimeAnalyzer(), MapRangeAnalyzer(), FloatEqAnalyzer(),
-	} {
-		if !a.Match("internal/sweep") {
-			t.Errorf("%s does not cover internal/sweep", a.Name)
+	for _, pkg := range []string{"internal/sweep", "internal/serve"} {
+		for _, a := range []*Analyzer{
+			NoRealTimeAnalyzer(), MapRangeAnalyzer(), FloatEqAnalyzer(),
+		} {
+			if !a.Match(pkg) {
+				t.Errorf("%s does not cover %s", a.Name, pkg)
+			}
 		}
-	}
-	if a := NoGlobalRandAnalyzer(); a.Match != nil && !a.Match("internal/sweep") {
-		t.Errorf("%s does not cover internal/sweep", a.Name)
+		if a := NoGlobalRandAnalyzer(); a.Match != nil && !a.Match(pkg) {
+			t.Errorf("%s does not cover %s", a.Name, pkg)
+		}
+		if NoConcurrencyAnalyzer().Match(pkg) {
+			t.Errorf("noconcurrency covers %s; the harness scope must stay exempt (it is the concurrency boundary)", pkg)
+		}
 	}
 }
 

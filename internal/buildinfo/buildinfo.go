@@ -1,0 +1,79 @@
+// Package buildinfo derives a provenance stamp for every binary in this
+// module from the data the Go toolchain already embeds: module version
+// and the VCS revision/time/dirty bit recorded by `go build`. All six
+// cmds expose it behind a -version flag, and bgpd embeds it in served
+// run records, so a result digest can always be traced back to the exact
+// build that produced it. The stamp is reporting-only: it must never be
+// folded into a cache key or result digest (two builds of the same code
+// produce byte-identical results; stamping digests would needlessly
+// invalidate every cache on rebuild).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Stamp is the provenance record of the running binary.
+type Stamp struct {
+	// Module is the main module path; Version its module version
+	// ("(devel)" for a working-tree build).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// Revision and Time are the VCS commit and commit time when the
+	// build had VCS metadata; Modified marks a dirty working tree.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+}
+
+// Read assembles the stamp from runtime/debug.ReadBuildInfo. Binaries
+// built without module support (rare; test binaries on old toolchains)
+// get a stamp with only the Go version filled in.
+func Read() Stamp {
+	s := Stamp{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return s
+	}
+	s.Module = bi.Main.Path
+	s.Version = bi.Main.Version
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			s.Revision = kv.Value
+		case "vcs.time":
+			s.Time = kv.Value
+		case "vcs.modified":
+			s.Modified = kv.Value == "true"
+		}
+	}
+	return s
+}
+
+// String renders the one-line form the cmds print for -version:
+//
+//	bgpsim bgploop (devel) rev 1a2b3c4d (modified) go1.24.0
+func (s Stamp) String() string {
+	out := s.Module
+	if out == "" {
+		out = "(no module info)"
+	}
+	if s.Version != "" {
+		out += " " + s.Version
+	}
+	if s.Revision != "" {
+		rev := s.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " rev " + rev
+		if s.Modified {
+			out += " (modified)"
+		}
+	}
+	return fmt.Sprintf("%s %s", out, s.GoVersion)
+}

@@ -1,0 +1,39 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadStamp pins that the stamp always carries the Go version and,
+// under `go test` (which always has module info), the module path.
+func TestReadStamp(t *testing.T) {
+	s := Read()
+	if s.GoVersion == "" {
+		t.Fatal("stamp missing Go version")
+	}
+	if s.Module != "bgploop" {
+		t.Fatalf("stamp module = %q, want bgploop", s.Module)
+	}
+}
+
+// TestStampString pins the rendered shapes: full VCS info, truncation of
+// long revisions, and the no-module fallback.
+func TestStampString(t *testing.T) {
+	s := Stamp{
+		Module:    "bgploop",
+		Version:   "(devel)",
+		Revision:  "0123456789abcdef0123456789abcdef",
+		Modified:  true,
+		GoVersion: "go1.24.0",
+	}
+	got := s.String()
+	want := "bgploop (devel) rev 0123456789ab (modified) go1.24.0"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	bare := Stamp{GoVersion: "go1.24.0"}
+	if got := bare.String(); !strings.Contains(got, "no module info") || !strings.Contains(got, "go1.24.0") {
+		t.Fatalf("bare String() = %q", got)
+	}
+}

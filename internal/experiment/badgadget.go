@@ -36,6 +36,23 @@ func (p badGadgetPolicy) Better(a, b routing.Candidate) bool {
 	return a.Peer < b.Peer
 }
 
+// PolicyBadGadget is the ScenarioSpec "policy" name that installs the
+// BAD GADGET per-node ranking; see BadGadget.
+const PolicyBadGadget = "badGadget"
+
+// badGadgetPolicyFor is the per-node policy hook shared by the BadGadget
+// fixture and the ScenarioSpec "policy": "badGadget" codec path. It is
+// defined only for a 4-node topology with the destination at node 0.
+func badGadgetPolicyFor() func(topology.Node) routing.Policy {
+	next := []topology.Node{0, 2, 3, 1}
+	return func(self topology.Node) routing.Policy {
+		if self == 0 {
+			return routing.ShortestPath{}
+		}
+		return badGadgetPolicy{next: next[self]}
+	}
+}
+
 // BadGadget builds Griffin's canonical no-solution policy dispute:
 // destination 0 at the hub of a K4, ring nodes 1-2-3 each preferring the
 // clockwise neighbor's two-hop path over their direct path. The
@@ -45,19 +62,16 @@ func (p badGadgetPolicy) Better(a, b routing.Candidate) bool {
 // wheel spinning at full speed.
 //
 // The scenario uses a per-node policy (bgp.Config.PolicyFor), so it is
-// not expressible as a ScenarioSpec file and is not cacheable; it is the
-// repo's reference UNSAFE fixture for tests and for `bgpverify -gadget`.
+// not cacheable (CacheKey and SafetyKey are empty); as a *named* policy
+// it is still expressible as a ScenarioSpec file via "policy":
+// "badGadget". It is the repo's reference UNSAFE fixture for tests, for
+// `bgpverify -gadget`, and for bgpd's strict-preflight refusal path.
 func BadGadget(maxEvents uint64) Scenario {
 	cfg := bgp.DefaultConfig()
 	cfg.MRAI = 0
-	next := []topology.Node{0, 2, 3, 1}
-	cfg.PolicyFor = func(self topology.Node) routing.Policy {
-		if self == 0 {
-			return routing.ShortestPath{}
-		}
-		return badGadgetPolicy{next: next[self]}
-	}
+	cfg.PolicyFor = badGadgetPolicyFor()
 	s := TDownScenario(topology.Clique(4), 0, cfg, 1)
 	s.MaxEvents = maxEvents
+	s.NamedPolicy = PolicyBadGadget
 	return s
 }

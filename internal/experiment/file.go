@@ -33,6 +33,16 @@ type ScenarioSpec struct {
 	// to the [4 0] link.
 	FailLink *[2]int `json:"failLink,omitempty"`
 
+	// Policy selects the route-selection policy by name: "" or
+	// "shortestPath" keeps the default shortest-path ranking, and
+	// "badGadget" installs the Griffin BAD GADGET per-node ranking (the
+	// repo's reference UNSAFE configuration; requires a 4-node topology
+	// with dest 0). Named policies are how spec files — and hence the
+	// bgpd service — reach statically-UNSAFE configurations at all:
+	// everything else the schema can express ranks by path length and is
+	// provably SAFE.
+	Policy string `json:"policy,omitempty"`
+
 	// MRAISeconds sets the MRAI timer; zero keeps the default, and a
 	// negative value means an explicit zero MRAI (no rate limiting).
 	MRAISeconds         float64         `json:"mraiSeconds,omitempty"`
@@ -418,10 +428,29 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 		dest = topology.Node(*spec.Dest)
 	}
 
+	namedPolicy := ""
+	switch spec.Policy {
+	case "", "shortestPath":
+	case PolicyBadGadget:
+		// The gadget's ring ranking is defined only on the canonical
+		// 4-node layout with the destination at the hub.
+		if n := g.NumNodes(); n != 4 {
+			return Scenario{}, fmt.Errorf("experiment: policy %q needs a 4-node topology, got %d nodes", spec.Policy, n)
+		}
+		if dest != 0 {
+			return Scenario{}, fmt.Errorf("experiment: policy %q needs dest 0, got %d", spec.Policy, dest)
+		}
+		cfg.PolicyFor = badGadgetPolicyFor()
+		namedPolicy = PolicyBadGadget
+	default:
+		return Scenario{}, fmt.Errorf("experiment: unknown policy %q (want shortestPath or badGadget)", spec.Policy)
+	}
+
 	s := Scenario{
 		Graph:            g,
 		Dest:             dest,
 		BGP:              cfg,
+		NamedPolicy:      namedPolicy,
 		Seed:             spec.Seed,
 		FlapCycles:       spec.FlapCycles,
 		RestoreDelay:     time.Duration(spec.RestoreDelaySeconds * float64(time.Second)),
@@ -488,14 +517,15 @@ func (spec ScenarioSpec) Scenario() (Scenario, error) {
 // removals without re-running a generator.
 //
 // Not every Scenario is spec-representable: a custom routing Policy, a
-// per-node PolicyFor hook, a custom Export policy, non-default jitter or
-// processing-delay ranges, a non-default damping configuration, or an
-// SSLDImmediate flag without SSLD all return an error.
+// per-node PolicyFor hook without a NamedPolicy marker, a custom Export
+// policy, non-default jitter or processing-delay ranges, a non-default
+// damping configuration, or an SSLDImmediate flag without SSLD all
+// return an error.
 func NewScenarioSpec(s Scenario) (*ScenarioSpec, error) {
 	if s.Graph == nil {
 		return nil, errors.New("experiment: nil topology is not spec-representable")
 	}
-	if s.BGP.PolicyFor != nil {
+	if s.BGP.PolicyFor != nil && s.NamedPolicy == "" {
 		return nil, errors.New("experiment: per-node PolicyFor hooks are not spec-representable")
 	}
 	switch s.BGP.Policy.(type) {
@@ -538,6 +568,7 @@ func NewScenarioSpec(s Scenario) (*ScenarioSpec, error) {
 	}
 	d := int(s.Dest)
 	spec.Dest = &d
+	spec.Policy = s.NamedPolicy
 
 	if s.BGP.MRAI == 0 {
 		spec.MRAISeconds = -1 // explicit zero, not "use the default"

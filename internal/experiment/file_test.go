@@ -283,3 +283,67 @@ func TestLoadScenarioFaultPlanErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestLoadScenarioNamedPolicy(t *testing.T) {
+	spec := `{
+		"topology": {"family": "clique", "size": 4},
+		"event": "tdown",
+		"policy": "badGadget",
+		"mraiSeconds": -1,
+		"maxEvents": 30000
+	}`
+	s, err := LoadScenario(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NamedPolicy != PolicyBadGadget || s.BGP.PolicyFor == nil {
+		t.Fatalf("NamedPolicy = %q, PolicyFor nil = %v; want the badGadget hook installed", s.NamedPolicy, s.BGP.PolicyFor == nil)
+	}
+	// The loaded scenario must be the same dispute as the programmatic
+	// fixture: statically UNSAFE.
+	rep, err := PreflightVerdict(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict.String() != "UNSAFE" {
+		t.Fatalf("verdict = %s, want UNSAFE", rep.Verdict)
+	}
+	// Named policies remain unfingerprintable for caching purposes.
+	if k := s.CacheKey(); k != "" {
+		t.Errorf("CacheKey = %q, want uncacheable", k)
+	}
+
+	// The marker makes the scenario spec-representable again: round trip
+	// through NewScenarioSpec and re-materialise.
+	back, err := NewScenarioSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy != PolicyBadGadget {
+		t.Fatalf("rendered policy = %q, want %q", back.Policy, PolicyBadGadget)
+	}
+	s2, err := back.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NamedPolicy != PolicyBadGadget || s2.BGP.PolicyFor == nil {
+		t.Fatal("round-tripped scenario lost the named policy")
+	}
+
+	// The programmatic fixture is spec-representable through the same marker.
+	if _, err := NewScenarioSpec(BadGadget(30_000)); err != nil {
+		t.Fatalf("BadGadget fixture is not spec-representable: %v", err)
+	}
+}
+
+func TestLoadScenarioNamedPolicyErrors(t *testing.T) {
+	for _, spec := range []string{
+		`{"topology": {"family": "clique", "size": 5}, "event": "tdown", "policy": "badGadget"}`,
+		`{"topology": {"family": "clique", "size": 4}, "event": "tdown", "dest": 2, "policy": "badGadget"}`,
+		`{"topology": {"family": "clique", "size": 4}, "event": "tdown", "policy": "nope"}`,
+	} {
+		if _, err := LoadScenario(strings.NewReader(spec)); err == nil {
+			t.Errorf("LoadScenario(%s) succeeded, want error", spec)
+		}
+	}
+}

@@ -26,6 +26,8 @@ func FuzzScenarioSpecJSON(f *testing.F) {
 	f.Add([]byte(`{"topology": {"family": "clique", "size": 4}, "event": "tdown",
 		"mraiSeconds": -1, "enhancements": {"ssldImmediate": true}, "damping": true,
 		"packetIntervalSeconds": 0.5, "ttl": 16, "linkDelaySeconds": 0.001, "settleDelaySeconds": 2}`))
+	f.Add([]byte(`{"topology": {"family": "clique", "size": 4}, "event": "tdown",
+		"policy": "badGadget", "mraiSeconds": -1, "maxEvents": 20000}`))
 	f.Add([]byte(`{"topology": {"family": "chain", "size": -1}}`))
 	f.Add([]byte(`{"topology"`))
 

@@ -108,6 +108,13 @@ type Scenario struct {
 	// (off/phase/every-n/full) and falls back to Off. Guards are
 	// observation-only: enabling them never changes a run's Result.
 	Guard invariant.Config
+	// NamedPolicy records that BGP.PolicyFor was installed from a named
+	// spec policy (ScenarioSpec "policy", e.g. PolicyBadGadget). It lets
+	// NewScenarioSpec invert the otherwise non-representable PolicyFor
+	// hook, so named-policy scenarios survive forensic-bundle and service
+	// round trips. It is a codec marker only: cache and safety keys still
+	// treat PolicyFor scenarios as unfingerprintable.
+	NamedPolicy string
 
 	// staticHorizon is a derived watchdog horizon installed by
 	// WithStaticBound for statically-SAFE scenarios. It applies only
@@ -161,6 +168,9 @@ func (s Scenario) Validate() error {
 	}
 	if err := s.Guard.Validate(); err != nil {
 		return err
+	}
+	if s.NamedPolicy != "" && s.BGP.PolicyFor == nil {
+		return fmt.Errorf("experiment: NamedPolicy %q marker without its PolicyFor hook", s.NamedPolicy)
 	}
 	if n := s.Guard.CorruptFIBNode; n != nil {
 		if !s.Graph.Valid(topology.Node(*n)) {

@@ -98,8 +98,16 @@ type SweepOptions struct {
 	// state, in completion order.
 	Progress func(trial int, st sweep.Status, src sweep.Source)
 	// Stats, when non-nil, accumulates executor statistics (executed vs
-	// cached vs resumed counts) across sweeps.
+	// cached vs resumed vs deduped counts) across sweeps.
 	Stats *sweep.Stats
+	// Flight, when non-nil, collapses concurrent executions of the same
+	// scenario content address onto one simulation — across this sweep
+	// and every other sweep sharing the Flight. The service layer
+	// (cmd/bgpd) hands one process-wide Flight to every job so identical
+	// concurrent submissions never simulate a trial twice. Requires the
+	// persistence codec, which CacheDir/JournalPath/Resume or the Flight
+	// itself enable.
+	Flight *sweep.Flight
 	// Preflight runs the static safety analysis (internal/safety) on
 	// every generated scenario before simulating it: statically-UNSAFE
 	// scenarios are refused with ErrStaticallyUnsafe carrying the
@@ -200,7 +208,7 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 	// the empty key and always executes.
 	var codec sweep.Codec[*Result]
 	var keys []string
-	if cache != nil || opts.JournalPath != "" || opts.Resume {
+	if cache != nil || opts.JournalPath != "" || opts.Resume || opts.Flight != nil {
 		keys = make([]string, trials)
 		for i := range keys {
 			keys[i] = trialKey(gen, i)
@@ -257,6 +265,7 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 		Codec:    codec,
 		Cache:    cache,
 		Journal:  journal,
+		Flight:   opts.Flight,
 		Progress: opts.Progress,
 	}
 	if opts.ContinueOnFailure {

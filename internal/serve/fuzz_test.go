@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRunRequest throws arbitrary bytes at the POST /v1/runs decoder: no
+// input may panic, every rejection must be a structured 4xx RequestError
+// with a stable code, and every accepted request must respect the
+// configured limits and materialize a valid scenario. This is the
+// boundary where hostile network input meets the simulation core, so the
+// decoder gets its own fuzz target on top of FuzzScenarioSpecJSON.
+func FuzzRunRequest(f *testing.F) {
+	f.Add([]byte(`{"spec": {"topology": {"family": "clique", "size": 6}, "event": "tdown", "seed": 5}, "trials": 2}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "ring", "size": 5}, "event": "tlong", "mraiSeconds": 5}}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "clique", "size": 4}, "event": "tdown",
+		"policy": "badGadget", "mraiSeconds": -1, "maxEvents": 30000}}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "edges", "size": 3, "edges": [[0,1],[1,2],[2,0]]}, "dest": 1}}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "file", "path": "/etc/passwd"}}}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "clique", "size": 9999}}}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "clique", "size": 4}}, "trials": -3}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "clique", "size": 4}}, "trials": 1000000}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "clique", "size": 4}}, "bogus": true}`))
+	f.Add([]byte(`{"spec": {"topology"`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"spec": {"topology": {"family": "clique", "size": 4}}} trailing`))
+
+	limits := Limits{MaxNodes: 16, MaxTrials: 8, MaxBodyBytes: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, sc, rerr := ParseRunRequest(bytes.NewReader(data), limits)
+		if rerr != nil {
+			if rerr.Status < 400 || rerr.Status > 499 {
+				t.Fatalf("rejection status = %d, want 4xx", rerr.Status)
+			}
+			if rerr.Code == "" || rerr.Message == "" {
+				t.Fatalf("unstructured rejection: %+v", rerr)
+			}
+			if req != nil {
+				t.Fatal("request returned alongside an error")
+			}
+			return
+		}
+		if req.Trials < 1 || req.Trials > limits.MaxTrials {
+			t.Fatalf("accepted trial count %d outside [1, %d]", req.Trials, limits.MaxTrials)
+		}
+		if n := sc.Graph.NumNodes(); n > limits.MaxNodes {
+			t.Fatalf("accepted topology with %d nodes, limit %d", n, limits.MaxNodes)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted request materialized an invalid scenario: %v", err)
+		}
+	})
+}

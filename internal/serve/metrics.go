@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"bgploop/internal/metrics"
+)
+
+// registry is bgpd's metric store: named counters, gauges, and latency
+// histograms, rendered in a Prometheus-style text exposition. It exists
+// so the server's observability never touches the simulation layer —
+// counters are updated from handler and worker code only, and nothing in
+// here feeds back into results or cache keys.
+type registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]*metrics.Histogram
+	// histBounds is the shared bucket layout, fixed at construction so
+	// the exposition is stable across servers.
+	histBounds []float64
+}
+
+// latencyBuckets is the default histogram layout for the per-phase job
+// latency metrics, in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+func newRegistry() *registry {
+	return &registry{
+		counters:   map[string]int64{},
+		gauges:     map[string]int64{},
+		hists:      map[string]*metrics.Histogram{},
+		histBounds: latencyBuckets,
+	}
+}
+
+// inc adds delta to a named counter.
+func (r *registry) inc(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// set replaces a named gauge value.
+func (r *registry) set(name string, v int64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// observe records a latency sample (in seconds) into a named histogram.
+func (r *registry) observe(name string, seconds float64) {
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = metrics.NewHistogram(r.histBounds...)
+		r.hists[name] = h
+	}
+	h.Observe(seconds)
+	r.mu.Unlock()
+}
+
+// snapshotCounter reads a counter (tests and the cache-ratio gauge).
+func (r *registry) snapshotCounter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// write renders the text exposition. Families are emitted in sorted name
+// order so the output is deterministic (and detlint's maprange analyzer
+// has nothing to object to).
+func (r *registry) write(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters { //detlint:allow maprange keys are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, r.counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.gauges { //detlint:allow maprange keys are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, r.gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.hists { //detlint:allow maprange keys are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		bounds := h.Bounds()
+		cum := h.Cumulative()
+		for i, b := range bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatBound renders a bucket boundary with shortest-round-trip float
+// formatting, matching the exposition conventions.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

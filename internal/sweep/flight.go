@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight collapses concurrent executions of the same content address onto
+// one run. It is the in-memory counterpart of the Cache: the cache dedupes
+// across *time* (a trial executed yesterday is served from disk), the
+// Flight dedupes across *space* (two sweeps executing the same trial right
+// now share one execution). The service layer (internal/serve) hands one
+// process-wide Flight to every job, so overlapping submissions — the same
+// spec at different trial counts, or N identical POSTs racing past the
+// job-level dedupe — never simulate a content address twice concurrently.
+//
+// Sharing is sound for the same reason cache hits are: equal content
+// addresses mean byte-identical results by construction, and the Codec
+// contract guarantees Decode(Encode(v)) re-encodes identically, so a
+// follower's decoded copy digests exactly like the leader's original.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight execution; done closes when the leader
+// finishes and data/err are then immutable.
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// NewFlight returns an empty in-flight registry, safe for concurrent use.
+func NewFlight() *Flight {
+	return &Flight{calls: map[string]*flightCall{}}
+}
+
+// Do executes fn for key exactly once across concurrent callers. The
+// first caller for a key (the leader) runs fn and returns its outcome
+// with shared=false; callers arriving while the leader is in flight wait
+// and receive the leader's encoded bytes with shared=true. Keys are
+// forgotten as soon as the leader finishes — later calls for the same key
+// run fn again (the disk cache, not the Flight, dedupes across time).
+//
+// A leader error is never shared: waiting followers retry, and the first
+// retrier becomes the new leader. This keeps error semantics per-caller —
+// the leader's cancellation or deadline must not poison an unrelated
+// sweep that happens to want the same trial. A follower whose own ctx is
+// canceled while waiting returns ctx's error.
+func (f *Flight) Do(ctx context.Context, key string, fn func() ([]byte, error)) (data []byte, shared bool, err error) {
+	for {
+		f.mu.Lock()
+		if c, ok := f.calls[key]; ok {
+			f.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if c.err == nil {
+				return c.data, true, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			continue // leader failed; race to become the new leader
+		}
+		c := &flightCall{done: make(chan struct{})}
+		f.calls[key] = c
+		f.mu.Unlock()
+
+		c.data, c.err = fn()
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+		return c.data, false, c.err
+	}
+}

@@ -87,6 +87,9 @@ const (
 	SourceCache
 	// SourceJournal means the result was replayed from a resume journal.
 	SourceJournal
+	// SourceFlight means the result was shared from a concurrent
+	// execution of the same content address (Options.Flight singleflight).
+	SourceFlight
 )
 
 // Task runs trial i and returns its result. The context is per-trial:
@@ -142,6 +145,11 @@ type Options[T any] struct {
 	// preloaded entries (opened with resume=true) are replayed before
 	// anything executes.
 	Journal *Journal
+	// Flight, when non-nil, collapses concurrent executions of the same
+	// content address — across this sweep and every other sweep sharing
+	// the Flight — onto one run. Requires Codec (sharing moves encoded
+	// bytes between callers). Trials without a key never share.
+	Flight *Flight
 	// Progress, when non-nil, is called from the merging goroutine after
 	// each trial reaches a terminal state, in completion order. It must
 	// not block for long; it runs on the sweep's critical path.
@@ -155,10 +163,13 @@ type Stats struct {
 	Trials   int
 	Executed int
 	// CacheHits / CacheMisses count cache probes; Resumed counts trials
-	// replayed from the journal.
+	// replayed from the journal; Deduped counts trials whose result was
+	// shared from a concurrent in-flight execution of the same content
+	// address (Options.Flight) instead of being simulated here.
 	CacheHits   int
 	CacheMisses int
 	Resumed     int
+	Deduped     int
 	// Failed, Canceled, and Skipped count the non-Done terminal states.
 	Failed   int
 	Canceled int
@@ -172,9 +183,21 @@ func (s *Stats) Add(other Stats) {
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
 	s.Resumed += other.Resumed
+	s.Deduped += other.Deduped
 	s.Failed += other.Failed
 	s.Canceled += other.Canceled
 	s.Skipped += other.Skipped
+}
+
+// CacheHitRatio returns CacheHits/(CacheHits+CacheMisses), or 0 when the
+// cache was never probed. It is the ratio the bgpd /metrics endpoint
+// exposes.
+func (s Stats) CacheHitRatio() float64 {
+	probes := s.CacheHits + s.CacheMisses
+	if probes == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(probes)
 }
 
 // Outcome is the merged, trial-ordered result of a sweep. All slices are
@@ -222,6 +245,9 @@ func Run[T any](ctx context.Context, trials int, task Task[T], opts Options[T]) 
 	}
 	if (opts.Cache != nil || opts.Journal != nil) && !opts.Codec.enabled() {
 		return nil, errors.New("sweep: cache/journal require a complete Codec")
+	}
+	if opts.Flight != nil && !opts.Codec.enabled() {
+		return nil, errors.New("sweep: singleflight requires a complete Codec")
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -334,8 +360,11 @@ func Run[T any](ctx context.Context, trials int, task Task[T], opts Options[T]) 
 		case StatusSkipped:
 			out.Stats.Skipped++
 		case StatusDone:
-			if out.Source[i] == SourceExecuted {
+			switch out.Source[i] {
+			case SourceExecuted:
 				out.Stats.Executed++
+			case SourceFlight:
+				out.Stats.Deduped++
 			}
 		}
 	}
@@ -363,13 +392,15 @@ func persist[T any](opts Options[T], trial int, key string, data []byte, fresh b
 }
 
 // merge records one completed trial into the outcome and applies the
-// failure policy. Called only from the merging goroutine.
-func merge[T any](opts Options[T], out *Outcome[T], ctl *controller, trial int, key string, v T, err error) error {
+// failure policy. execSrc is SourceExecuted for trials this sweep ran
+// itself and SourceFlight for results shared from a concurrent execution.
+// Called only from the merging goroutine.
+func merge[T any](opts Options[T], out *Outcome[T], ctl *controller, trial int, key string, v T, execSrc Source, err error) error {
 	src := SourceNone
 	switch {
 	case err == nil:
-		out.Results[trial], out.Status[trial], out.Source[trial] = v, StatusDone, SourceExecuted
-		src = SourceExecuted
+		out.Results[trial], out.Status[trial], out.Source[trial] = v, StatusDone, execSrc
+		src = execSrc
 		data, encErr := encodeFor(opts, v)
 		if encErr != nil {
 			return fmt.Errorf("sweep: encode trial %d: %w", trial, encErr)
@@ -416,12 +447,63 @@ func runInline[T any](ctx context.Context, task Task[T], opts Options[T], out *O
 			}
 			continue
 		}
-		v, err := task(ctx, i)
-		if merr := merge(opts, out, ctl, i, keys[i], v, err); merr != nil {
+		v, src, err := executeTrial(ctx, task, opts, i, keys[i])
+		if merr := merge(opts, out, ctl, i, keys[i], v, src, err); merr != nil {
 			return merr
 		}
 	}
 	return nil
+}
+
+// executeTrial runs one trial, routing it through the singleflight when a
+// Flight and a content address are available. The leader's own value is
+// returned directly; a follower decodes the shared bytes (byte-identical
+// on re-encode per the Codec contract, so sharing never changes digests)
+// and is marked SourceFlight. Errors are never shared — a failed or
+// canceled leader makes the follower execute the trial itself.
+func executeTrial[T any](ctx context.Context, task Task[T], opts Options[T], i int, key string) (T, Source, error) {
+	if opts.Flight == nil || key == "" {
+		v, err := task(ctx, i)
+		return v, SourceExecuted, err
+	}
+	var (
+		leaderV  T
+		isLeader bool
+	)
+	data, shared, err := opts.Flight.Do(ctx, key, func() ([]byte, error) {
+		v, err := task(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		data, err := opts.Codec.Encode(v)
+		if err != nil {
+			return nil, err
+		}
+		leaderV, isLeader = v, true
+		return data, nil
+	})
+	switch {
+	case err != nil:
+		var zero T
+		return zero, SourceExecuted, err
+	case isLeader:
+		return leaderV, SourceExecuted, nil
+	case shared:
+		v, err := opts.Codec.Decode(data)
+		if err != nil {
+			// A shared payload that does not decode falls back to direct
+			// execution, mirroring the cache's corrupt-object-is-a-miss
+			// policy.
+			v, err := task(ctx, i)
+			return v, SourceExecuted, err
+		}
+		return v, SourceFlight, nil
+	default:
+		// Unreachable: a nil error from Do means either this caller led
+		// the execution or the payload was shared.
+		v, err := task(ctx, i)
+		return v, SourceExecuted, err
+	}
 }
 
 // runPool is the parallel path: a feeder hands ascending indices to
@@ -440,6 +522,7 @@ func runPool[T any](ctx context.Context, task Task[T], opts Options[T], out *Out
 	type completion struct {
 		trial int
 		v     T
+		src   Source
 		err   error
 		skip  bool
 	}
@@ -458,10 +541,10 @@ func runPool[T any](ctx context.Context, task Task[T], opts Options[T], out *Out
 				}
 				tctx, cancel := context.WithCancel(ctx)
 				ctl.register(i, cancel)
-				v, err := task(tctx, i)
+				v, src, err := executeTrial(tctx, task, opts, i, keys[i])
 				ctl.unregister(i)
 				cancel()
-				resCh <- completion{trial: i, v: v, err: err}
+				resCh <- completion{trial: i, v: v, src: src, err: err}
 			}
 		}()
 	}
@@ -488,7 +571,7 @@ func runPool[T any](ctx context.Context, task Task[T], opts Options[T], out *Out
 			}
 			continue
 		}
-		mergeErr = merge(opts, out, ctl, c.trial, keys[c.trial], c.v, c.err)
+		mergeErr = merge(opts, out, ctl, c.trial, keys[c.trial], c.v, c.src, c.err)
 	}
 	wg.Wait()
 	return mergeErr
