@@ -4,7 +4,12 @@
 // are byte-identical to a local run. See the "Service layer" section of
 // DESIGN.md.
 //
-//	bgpd -listen :8439 -cache-dir /var/cache/bgploop
+//	bgpd -listen :8439 -store-dir /var/lib/bgploop
+//
+// With -store-dir the server is crash-safe: accepted jobs are written to
+// a fsynced WAL before the submit response, and a restarted bgpd replays
+// the log — incomplete jobs re-enqueue and resume from their sweep
+// journals, finished jobs keep answering GET /v1/runs/{id}.
 //
 //	curl -s localhost:8439/v1/runs -d '{"spec": {"topology": {"family":
 //	  "clique", "size": 10}, "event": "tdown"}, "trials": 4}'
@@ -65,6 +70,8 @@ func run(args []string) error {
 
 		listen    = fs.String("listen", "localhost:8439", "address to serve on")
 		cache     = fs.String("cache-dir", "", "content-addressed result cache; repeat submissions are served from disk")
+		store     = fs.String("store-dir", "", "durable state root: job WAL under <dir>/wal plus a default cache under <dir>/cache; accepted jobs survive a crash and resume on restart")
+		jsync     = fs.Int("journal-sync", 0, "fsync the sweep checkpoint journal every N trial appends (0 = only on close, 1 = every append)")
 		workers   = fs.Int("workers", 2, "job worker pool width (in-flight job cap)")
 		queue     = fs.Int("queue", 16, "admission queue depth; beyond it submissions get 429")
 		j         = fs.Int("j", 1, "trial parallelism inside each job (results are byte-identical at any width)")
@@ -92,8 +99,10 @@ func run(args []string) error {
 		return fmt.Errorf("-preflight %q: want strict or warn", *preflight)
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		CacheDir:     *cache,
+		StoreDir:     *store,
+		JournalSync:  *jsync,
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		TrialWorkers: *j,
@@ -105,6 +114,14 @@ func run(args []string) error {
 		},
 		Now: time.Now,
 	})
+	if err != nil {
+		return err
+	}
+	if *store != "" {
+		rec := srv.Recovery()
+		fmt.Fprintf(os.Stderr, "bgpd: WAL recovery: %d jobs re-enqueued, %d terminal jobs restored, %d corrupt records dropped, log %d bytes\n",
+			rec.Replayed, rec.Restored, rec.DroppedRecords, rec.WALBytes)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *listen,
@@ -123,8 +140,8 @@ func run(args []string) error {
 		}
 		errc <- nil
 	}()
-	fmt.Fprintf(os.Stderr, "bgpd: serving on %s (workers=%d queue=%d preflight=%s cache=%q)\n",
-		*listen, *workers, *queue, policy, *cache)
+	fmt.Fprintf(os.Stderr, "bgpd: serving on %s (workers=%d queue=%d preflight=%s cache=%q store=%q)\n",
+		*listen, *workers, *queue, policy, *cache, *store)
 
 	select {
 	case err := <-errc:

@@ -70,6 +70,7 @@ func run(args []string) error {
 		workers   = fs.Int("j", 0, "sweep parallelism: 0 = GOMAXPROCS, 1 = the sequential path (output is byte-identical at any width)")
 		cacheDir  = fs.String("cache-dir", "", "content-addressed result cache; unchanged trials are served from disk instead of re-simulated")
 		resume    = fs.Bool("resume", false, "resume an interrupted sweep from its checkpoint journal (requires -cache-dir)")
+		jsync     = fs.Int("journal-sync", 0, "fsync the checkpoint journal every N trial appends (0 = only on close, 1 = every append; higher N trades durability for fewer fsyncs)")
 		lossF     = fs.Float64("loss", 0, "per-message loss probability on every link; loss is masked by retransmission (delay, not drop) up to the retry cap")
 		holdF     = fs.Duration("hold", 0, "BGP hold time; non-zero enables the session FSM (keepalive generation, hold-expiry teardown, backoff re-establishment). Keepalives only arm over impaired links, so combine with bounded degrade windows (a faultPlan degrade+undegrade pair) rather than a permanent -loss, which never quiesces")
 		keepF     = fs.Duration("keepalive", 0, "keepalive interval (default hold/3; requires -hold)")
@@ -176,7 +177,7 @@ func run(args []string) error {
 		if *resume && *cacheDir == "" {
 			return fmt.Errorf("-resume needs -cache-dir (or set an explicit journal via the library API)")
 		}
-		return runSweep(ctx, scenario, *trials, *workers, *cacheDir, *resume, *csv, *jsonOut, *digestF, *preflight != "")
+		return runSweep(ctx, scenario, *trials, *workers, *cacheDir, *resume, *jsync, *csv, *jsonOut, *digestF, *preflight != "")
 	}
 
 	if *compare {
@@ -321,13 +322,14 @@ func runShrink(path, outPath string, maxRuns int) error {
 // runSweep fans trials of the scenario (seeds seed, seed+1, ...) across
 // the parallel executor and prints the aggregate. The output is
 // byte-identical at every -j width.
-func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, cacheDir string, resume bool, csv, jsonOut, digest, preflight bool) error {
+func runSweep(ctx context.Context, s experiment.Scenario, trials, workers int, cacheDir string, resume bool, jsync int, csv, jsonOut, digest, preflight bool) error {
 	agg, _, stats, err := experiment.RunSweep(experiment.Repeat(s), trials, experiment.SweepOptions{
-		Workers:   workers,
-		CacheDir:  cacheDir,
-		Resume:    resume,
-		Context:   ctx,
-		Preflight: preflight,
+		Workers:     workers,
+		CacheDir:    cacheDir,
+		Resume:      resume,
+		JournalSync: jsync,
+		Context:     ctx,
+		Preflight:   preflight,
 	})
 	if err != nil {
 		return err

@@ -36,7 +36,12 @@ var (
 	// internal/serve (the bgpd service core) is held to the same bar:
 	// the daemon schedules and caches around the simulator, so wall
 	// clocks must arrive via the injected serve.Config.Now hook only.
-	harnessPackages = []string{"internal/serve", "internal/sweep"}
+	// internal/durable (the crash-safety layer: WAL, atomic writes,
+	// fault injection) sits underneath both — a wall-clock read or
+	// map-order dependence there would make fault schedules and WAL
+	// recovery nondeterministic, which is exactly what FaultFS exists
+	// to rule out.
+	harnessPackages = []string{"internal/durable", "internal/serve", "internal/sweep"}
 	// staticPackages analyse scenario configs without running the kernel;
 	// their verdicts are cached content-addressed, so they are held to the
 	// same determinism bar as the simulation itself (a map-order-dependent

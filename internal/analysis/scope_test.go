@@ -23,13 +23,15 @@ func TestNoConcurrencyScopeCoversKernel(t *testing.T) {
 }
 
 // TestHarnessScopeDeterminismAnalyzers asserts the harness packages —
-// internal/sweep (the trial executor) and internal/serve (the bgpd
-// service core) — are held to the rest of the determinism contract: no
-// wall clock, no global rand, no map-order dependence, no exact float
-// comparison. For internal/serve the norealtime pin is what forces the
-// daemon's clock through the injected serve.Config.Now hook.
+// internal/sweep (the trial executor), internal/serve (the bgpd
+// service core), and internal/durable (the crash-safety layer) — are
+// held to the rest of the determinism contract: no wall clock, no
+// global rand, no map-order dependence, no exact float comparison. For
+// internal/serve the norealtime pin is what forces the daemon's clock
+// through the injected serve.Config.Now hook; for internal/durable it
+// keeps FaultFS schedules and WAL recovery replayable.
 func TestHarnessScopeDeterminismAnalyzers(t *testing.T) {
-	for _, pkg := range []string{"internal/sweep", "internal/serve"} {
+	for _, pkg := range []string{"internal/sweep", "internal/serve", "internal/durable"} {
 		for _, a := range []*Analyzer{
 			NoRealTimeAnalyzer(), MapRangeAnalyzer(), FloatEqAnalyzer(),
 		} {

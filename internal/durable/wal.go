@@ -1,0 +1,301 @@
+package durable
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// RecordVersion is bumped when the WAL record schema changes; records
+// with a different version are dropped on load.
+const RecordVersion = 1
+
+// Record is one entry in bgpd's job write-ahead log, one JSON object
+// per line. Two record types exist:
+//
+//   - "job": a submission accepted by admission control — the request
+//     spec verbatim, the dedupe key, and the trial count. Appended (and
+//     fsynced) before the submit response is written, so an accepted job
+//     survives any subsequent crash.
+//   - "state": a lifecycle transition (running, done, failed, canceled).
+//     Terminal records carry the served digests and executor statistics,
+//     so a restarted daemon can keep answering GET /v1/runs/{id} for
+//     jobs that finished in a previous life.
+//
+// Every record embeds a truncated SHA-256 checksum over its canonical
+// encoding; a torn or bit-rotten line fails the check and is dropped on
+// load instead of poisoning recovery.
+type Record struct {
+	V    int    `json:"v"`
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "job" | "state"
+	Job  string `json:"job"`
+
+	// Submission fields (Type == "job").
+	Key     string          `json:"key,omitempty"`
+	Trials  int             `json:"trials,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Warning string          `json:"warning,omitempty"`
+
+	// Transition fields (Type == "state").
+	State           string          `json:"state,omitempty"`
+	Error           string          `json:"error,omitempty"`
+	AggregateDigest string          `json:"aggregateDigest,omitempty"`
+	ResultDigests   []string        `json:"resultDigests,omitempty"`
+	Stats           json.RawMessage `json:"stats,omitempty"`
+
+	// Sum is the integrity checksum: the first 16 hex characters of
+	// SHA-256 over the record's canonical JSON with Sum itself empty.
+	Sum string `json:"sum"`
+}
+
+// sum computes the record's canonical checksum.
+func (r Record) sum() (string, error) {
+	r.Sum = ""
+	data, err := json.Marshal(r)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])[:16], nil
+}
+
+// EncodeRecord renders one WAL line (without the trailing newline),
+// stamping the version and checksum.
+func EncodeRecord(r Record) ([]byte, error) {
+	r.V = RecordVersion
+	if err := canonicalizeRaw(&r); err != nil {
+		return nil, fmt.Errorf("durable: encode WAL record: %w", err)
+	}
+	s, err := r.sum()
+	if err != nil {
+		return nil, fmt.Errorf("durable: encode WAL record: %w", err)
+	}
+	r.Sum = s
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("durable: encode WAL record: %w", err)
+	}
+	return data, nil
+}
+
+// ErrBadRecord marks a WAL line that failed structural validation or
+// its integrity check.
+var ErrBadRecord = errors.New("durable: bad WAL record")
+
+// DecodeRecord parses and verifies one WAL line. It never panics on
+// hostile input (FuzzWALRecord pins that); any structural or checksum
+// failure returns an error wrapping ErrBadRecord.
+func DecodeRecord(line []byte) (Record, error) {
+	var r Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if dec.More() {
+		return Record{}, fmt.Errorf("%w: trailing data after record", ErrBadRecord)
+	}
+	if r.V != RecordVersion {
+		return Record{}, fmt.Errorf("%w: version %d, want %d", ErrBadRecord, r.V, RecordVersion)
+	}
+	if r.Type != "job" && r.Type != "state" {
+		return Record{}, fmt.Errorf("%w: unknown type %q", ErrBadRecord, r.Type)
+	}
+	if r.Job == "" {
+		return Record{}, fmt.Errorf("%w: empty job id", ErrBadRecord)
+	}
+	if err := canonicalizeRaw(&r); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	want, err := r.sum()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if r.Sum != want {
+		return Record{}, fmt.Errorf("%w: checksum %q, want %q", ErrBadRecord, r.Sum, want)
+	}
+	return r, nil
+}
+
+// canonicalizeRaw compacts the record's raw-JSON fields so the checksum
+// is over one canonical byte form regardless of input whitespace.
+func canonicalizeRaw(r *Record) error {
+	for _, raw := range []*json.RawMessage{&r.Spec, &r.Stats} {
+		if *raw == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, *raw); err != nil {
+			return err
+		}
+		*raw = append((*raw)[:0], buf.Bytes()...)
+	}
+	return nil
+}
+
+// WAL is the append-only job write-ahead log. Appends are fsynced —
+// when Append returns, the record survives a process kill and (modulo
+// disk lies) a machine crash. The log is safe for concurrent appenders;
+// sequence numbers are assigned under the lock.
+type WAL struct {
+	fsys FS
+	path string
+
+	mu      sync.Mutex
+	f       File
+	seq     int
+	bytes   int64
+	dropped int
+}
+
+// OpenWAL opens (creating if needed) the WAL at path and replays its
+// surviving records in append order. Torn or corrupt lines — a tail cut
+// short by a crash, a line that fails its checksum — are counted in
+// Dropped and skipped; they never fail recovery.
+func OpenWAL(fsys FS, path string) (*WAL, []Record, error) {
+	if path == "" {
+		return nil, nil, errors.New("durable: empty WAL path")
+	}
+	fsys = OrOS(fsys)
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: open WAL: %w", err)
+	}
+	w := &WAL{fsys: fsys, path: path}
+
+	var records []Record
+	data, err := fsys.ReadFile(path)
+	switch {
+	case IsNotExist(err):
+	case err != nil:
+		return nil, nil, fmt.Errorf("durable: open WAL: %w", err)
+	default:
+		w.bytes = int64(len(data))
+		for _, line := range bytes.Split(data, []byte{'\n'}) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			r, err := DecodeRecord(line)
+			if err != nil {
+				w.dropped++
+				continue
+			}
+			if r.Seq >= w.seq {
+				w.seq = r.Seq + 1
+			}
+			records = append(records, r)
+		}
+	}
+
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open WAL: %w", err)
+	}
+	w.f = f
+	return w, records, nil
+}
+
+// Path returns the WAL file path.
+func (w *WAL) Path() string { return w.path }
+
+// Bytes returns the WAL's current on-disk size in bytes (as of the last
+// open, compaction, or append).
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// Dropped returns how many corrupt or torn lines the last open or
+// compaction skipped.
+func (w *WAL) Dropped() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Append durably appends one record: it is written, fsynced, and only
+// then does Append return. The record's Seq is assigned here.
+func (w *WAL) Append(r Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("durable: append to closed WAL")
+	}
+	r.Seq = w.seq
+	line, err := EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("durable: WAL append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: WAL append: %w", err)
+	}
+	w.seq++
+	w.bytes += int64(len(line))
+	return nil
+}
+
+// Compact atomically rewrites the WAL to contain exactly records
+// (resequenced from zero) and reopens it for appending. bgpd compacts
+// at startup after folding its recovered state, so the log holds one
+// submission record plus at most one state record per live job instead
+// of every transition since the dawn of time.
+func (w *WAL) Compact(records []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("durable: compact closed WAL")
+	}
+	var buf bytes.Buffer
+	for i, r := range records {
+		r.Seq = i
+		line, err := EncodeRecord(r)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := w.f.Close(); err != nil {
+		w.f = nil
+		return fmt.Errorf("durable: compact WAL: %w", err)
+	}
+	w.f = nil
+	if err := WriteFileAtomic(w.fsys, w.path, buf.Bytes(), true); err != nil {
+		return fmt.Errorf("durable: compact WAL: %w", err)
+	}
+	f, err := w.fsys.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: compact WAL: %w", err)
+	}
+	w.f = f
+	w.seq = len(records)
+	w.bytes = int64(buf.Len())
+	return nil
+}
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	w.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"bgploop/internal/durable"
 	"bgploop/internal/invariant"
 	"bgploop/internal/topology"
 )
@@ -91,10 +92,12 @@ func newForensicBundle(fail *TrialFailure) *invariant.Bundle {
 
 // attachForensics converts a trial failure into its forensic bundle and,
 // when the sweep has a cache directory, persists the bundle under
-// ForensicsDir for later `bgpsim -shrink`. Bundle write errors are
-// swallowed: forensics must never turn a diagnosable failure into an
-// undiagnosable one.
-func attachForensics(fail *TrialFailure, dir string) {
+// ForensicsDir for later `bgpsim -shrink`. The write goes through the
+// sweep's durable.FS (nil means the real filesystem), so fault-injection
+// schedules cover this path too. Bundle write errors are swallowed:
+// forensics must never turn a diagnosable failure into an undiagnosable
+// one.
+func attachForensics(fail *TrialFailure, dir string, fsys durable.FS) {
 	b := newForensicBundle(fail)
 	if b == nil {
 		return
@@ -103,7 +106,7 @@ func attachForensics(fail *TrialFailure, dir string) {
 	if dir == "" {
 		return
 	}
-	if p, err := invariant.WriteBundle(dir, b); err == nil {
+	if p, err := invariant.WriteBundleFS(fsys, dir, b); err == nil {
 		fail.ForensicPath = p
 	}
 }

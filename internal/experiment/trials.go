@@ -12,6 +12,7 @@ import (
 
 	"bgploop/internal/bgp"
 	"bgploop/internal/des"
+	"bgploop/internal/durable"
 	"bgploop/internal/invariant"
 	"bgploop/internal/metrics"
 	"bgploop/internal/sweep"
@@ -118,6 +119,16 @@ type SweepOptions struct {
 	// the duration of the sweep and, when CacheDir is set, persisted in
 	// the result cache.
 	Preflight bool
+	// FS routes every persistence-layer file operation (cache objects,
+	// journal appends, forensic bundles) through the given filesystem;
+	// nil means the real one. Fault-injection tests pass a
+	// durable.FaultFS so scripted ENOSPC/EIO/crash schedules exercise the
+	// production code paths.
+	FS durable.FS
+	// JournalSync is the checkpoint journal's fsync cadence (see
+	// sweep.JournalOptions.SyncEvery): 0 never fsyncs during the run, 1
+	// fsyncs every append, N every N appends. Close always fsyncs.
+	JournalSync int
 }
 
 // DefaultMaxFailureRatio is the failure-rate threshold applied when
@@ -198,7 +209,7 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 	var cache *sweep.Cache
 	if opts.CacheDir != "" {
 		var err error
-		if cache, err = sweep.OpenCache(opts.CacheDir); err != nil {
+		if cache, err = sweep.OpenCacheFS(opts.CacheDir, opts.FS); err != nil {
 			return Aggregate{}, nil, sweep.Stats{}, err
 		}
 	}
@@ -234,7 +245,8 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 	var journal *sweep.Journal
 	if journalPath != "" {
 		var err error
-		if journal, err = sweep.OpenJournal(journalPath, opts.Resume); err != nil {
+		jopts := sweep.JournalOptions{FS: opts.FS, SyncEvery: opts.JournalSync}
+		if journal, err = sweep.OpenJournalOpts(journalPath, opts.Resume, jopts); err != nil {
 			return Aggregate{}, nil, sweep.Stats{}, err
 		}
 		defer func() { _ = journal.Close() }()
@@ -254,7 +266,7 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 	task := func(tctx context.Context, i int) (*Result, error) {
 		res, fail := runOneTrial(tctx, runGen, i)
 		if fail != nil {
-			attachForensics(fail, forensicsDir)
+			attachForensics(fail, forensicsDir, opts.FS)
 			return nil, fail
 		}
 		return res, nil

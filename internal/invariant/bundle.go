@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"bgploop/internal/durable"
 )
 
 // BundleVersion is stamped into every bundle so a future format change
@@ -53,10 +55,18 @@ func (b *Bundle) Name() string {
 	return "bundle-" + hex.EncodeToString(h.Sum(nil))[:16] + ".json"
 }
 
-// WriteBundle persists b under dir (creating it if needed) via a temp
-// file + rename, so a killed sweep never leaves a torn bundle behind.
-// It returns the final path.
+// WriteBundle persists b under dir on the real filesystem. See
+// WriteBundleFS.
 func WriteBundle(dir string, b *Bundle) (string, error) {
+	return WriteBundleFS(nil, dir, b)
+}
+
+// WriteBundleFS persists b under dir (creating it if needed) via an
+// atomic temp-write-fsync-rename through fsys (nil means the real
+// filesystem), so a killed sweep never leaves a torn bundle behind and
+// an ENOSPC/EIO during the write surfaces as a structured error instead
+// of a silent half-file. It returns the final path.
+func WriteBundleFS(fsys durable.FS, dir string, b *Bundle) (string, error) {
 	if b.Version == 0 {
 		b.Version = BundleVersion
 	}
@@ -65,26 +75,9 @@ func WriteBundle(dir string, b *Bundle) (string, error) {
 		return "", fmt.Errorf("invariant: encode bundle: %w", err)
 	}
 	data = append(data, '\n')
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("invariant: bundle dir: %w", err)
-	}
 	p := filepath.Join(dir, b.Name())
-	tmp, err := os.CreateTemp(dir, "tmp-*")
-	if err != nil {
-		return "", err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
-		return "", err
-	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return "", err
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		_ = os.Remove(tmp.Name())
-		return "", err
+	if err := durable.WriteFileAtomic(fsys, p, data, true); err != nil {
+		return "", fmt.Errorf("invariant: write bundle: %w", err)
 	}
 	return p, nil
 }

@@ -30,9 +30,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"bgploop/internal/durable"
 	"bgploop/internal/experiment"
 	"bgploop/internal/sweep"
 )
@@ -56,8 +58,24 @@ const (
 type Config struct {
 	// CacheDir roots the content-addressed result cache and the resume
 	// journals. Empty disables persistence (results are still computed
-	// and served, dedupe degrades to in-flight collapsing only).
+	// and served, dedupe degrades to in-flight collapsing only). When
+	// StoreDir is set and CacheDir is empty, CacheDir defaults to
+	// <StoreDir>/cache.
 	CacheDir string
+	// StoreDir, when non-empty, makes the server crash-safe: every
+	// accepted submission is appended (and fsynced) to a job write-ahead
+	// log under <StoreDir>/wal before admission returns, state
+	// transitions are logged, and a restarted server replays the log —
+	// re-enqueueing incomplete jobs (which resume from their sweep
+	// journals) and restoring terminal job views so GET /v1/runs/{id}
+	// survives the restart. Empty disables the WAL.
+	StoreDir string
+	// FS routes WAL, cache, and journal file operations; nil means the
+	// real filesystem. Fault-injection tests pass a durable.FaultFS.
+	FS durable.FS
+	// JournalSync is the sweep checkpoint journal's fsync cadence (see
+	// sweep.JournalOptions.SyncEvery).
+	JournalSync int
 	// Workers is the job worker-pool width (in-flight job cap); <= 0
 	// means 2.
 	Workers int
@@ -87,6 +105,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.StoreDir != "" && c.CacheDir == "" {
+		c.CacheDir = filepath.Join(c.StoreDir, "cache")
+	}
 	if c.Workers <= 0 {
 		c.Workers = 2
 	}
@@ -185,10 +206,18 @@ type Server struct {
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
+
+	// wal is the job write-ahead log (nil without Config.StoreDir);
+	// recovery holds what its replay did at startup.
+	wal      *durable.WAL
+	recovery RecoveryStats
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays its job WAL (when Config.StoreDir is
+// set), and starts the worker pool. The error is non-nil only for
+// storage problems opening or compacting the WAL — a server without a
+// StoreDir cannot fail.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -201,11 +230,23 @@ func New(cfg Config) *Server {
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()
+	if cfg.StoreDir != "" {
+		wal, records, err := durable.OpenWAL(cfg.FS, walPath(cfg.StoreDir))
+		if err != nil {
+			return nil, fmt.Errorf("serve: open job WAL: %w", err)
+		}
+		s.wal = wal
+		s.recovery.DroppedRecords = wal.Dropped()
+		if err := s.recoverWAL(records); err != nil {
+			_ = wal.Close()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP surface.
@@ -292,9 +333,32 @@ func (s *Server) submit(req *RunRequest, sc experiment.Scenario) submitOutcome {
 		submitted: s.now(),
 	}
 
+	// Write-ahead: the acceptance is durable before the client hears
+	// about it, so a crash after this point can never lose an
+	// acknowledged job. A WAL failure (disk full, I/O error) refuses the
+	// submission — accepting a job we cannot make durable would break the
+	// crash-safety contract.
+	if s.wal != nil {
+		rec, err := walRecordSubmit(j)
+		if err == nil {
+			err = s.walAppend(rec)
+		}
+		if err != nil {
+			s.nextID--
+			return submitOutcome{err: &RequestError{
+				Status: http.StatusInsufficientStorage, Code: "wal_error",
+				Message: fmt.Sprintf("cannot journal the submission: %v", err),
+			}}
+		}
+	}
+
 	select {
 	case s.queue <- j:
 	default:
+		// The acceptance record is already durable; mark it aborted so a
+		// restart does not resurrect a submission the client was told to
+		// retry.
+		_ = s.walAppend(durable.Record{Type: "state", Job: j.id, State: walStateAborted})
 		s.metrics.inc("bgpd_admission_rejects_total", 1)
 		return submitOutcome{err: &RequestError{
 			Status: http.StatusTooManyRequests, Code: "overloaded",
@@ -362,6 +426,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 	s.metrics.observe("bgpd_job_latency_seconds_queue", start.Sub(j.submitted).Seconds())
 	j.log.append(Event{Type: "started"})
+	_ = s.walAppend(durable.Record{Type: "state", Job: j.id, State: string(StateRunning)})
 
 	var (
 		ctx    context.Context
@@ -395,6 +460,8 @@ func (s *Server) runJob(j *job) {
 		opts.CacheDir = s.cfg.CacheDir
 		opts.Resume = true
 		opts.Flight = s.flight
+		opts.FS = s.cfg.FS
+		opts.JournalSync = s.cfg.JournalSync
 	}
 
 	agg, results, _, err := s.runSweep(experiment.Repeat(j.sc), j.trials, opts)
@@ -433,7 +500,9 @@ func (s *Server) runJob(j *job) {
 		terminal = Event{Type: "done", Message: fmt.Sprintf("%d/%d trials aggregated", agg.Trials, j.trials)}
 		s.metrics.inc("bgpd_jobs_completed_total", 1)
 	}
+	walRec := walRecordTerminal(j)
 	j.mu.Unlock()
+	_ = s.walAppend(walRec)
 
 	s.mu.Lock()
 	if j.key != "" && s.byKey[j.key] == j.id {
@@ -457,6 +526,7 @@ func (s *Server) recordTrialStats(st sweep.Stats) {
 	s.metrics.inc("bgpd_trials_deduped_total", int64(st.Deduped))
 	s.metrics.inc("bgpd_trials_failed_total", int64(st.Failed))
 	s.metrics.inc("bgpd_trials_canceled_total", int64(st.Canceled))
+	s.recordQuarantined(st)
 	// Cache hit ratio in basis points (the exposition is integer-only).
 	hits := s.metrics.snapshotCounter("bgpd_trials_cache_hits_total")
 	misses := s.metrics.snapshotCounter("bgpd_trials_cache_misses_total")
@@ -482,15 +552,21 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		s.rootCancel()
-		return nil
 	case <-ctx.Done():
 		s.rootCancel() // cancel in-flight sweeps; workers exit promptly
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // jobKey derives the job-level dedupe key from the scenario content

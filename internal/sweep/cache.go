@@ -3,8 +3,9 @@ package sweep
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+
+	"bgploop/internal/durable"
 )
 
 // Cache is a content-addressed result store on disk. Objects are keyed
@@ -14,21 +15,35 @@ import (
 // are interchangeable by construction and a config change simply misses.
 //
 // Layout: <dir>/objects/<key[:2]>/<key>, one encoded result per file.
-// Writes go through a temp file + rename, so a killed sweep never leaves
-// a torn object behind.
+// Writes go through a temp file + rename + fsync, so a killed sweep
+// never leaves a torn object behind. Objects that fail to decode anyway
+// (bit rot, foreign files) are quarantined — moved to
+// <dir>/quarantine/<key> — instead of silently treated as misses, so
+// corruption is visible in the executor's stats and the bgpd /metrics
+// endpoint rather than showing up only as a mysterious hit-ratio drop.
 type Cache struct {
-	dir string
+	dir  string
+	fsys durable.FS
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// OpenCache opens (creating if needed) a cache rooted at dir on the real
+// filesystem.
 func OpenCache(dir string) (*Cache, error) {
+	return OpenCacheFS(dir, nil)
+}
+
+// OpenCacheFS is OpenCache with an explicit filesystem; fault-injection
+// tests pass a durable.FaultFS so ENOSPC/EIO schedules exercise the
+// production write path.
+func OpenCacheFS(dir string, fsys durable.FS) (*Cache, error) {
 	if dir == "" {
 		return nil, errors.New("sweep: empty cache directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+	f := durable.OrOS(fsys)
+	if err := f.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: open cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, fsys: f}, nil
 }
 
 // Dir returns the cache root.
@@ -38,7 +53,7 @@ func (c *Cache) Dir() string { return c.dir }
 // live, creating it if needed.
 func (c *Cache) JournalDir() (string, error) {
 	dir := filepath.Join(c.dir, "journals")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := c.fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("sweep: journal dir: %w", err)
 	}
 	return dir, nil
@@ -58,8 +73,8 @@ func (c *Cache) Get(key string) (data []byte, ok bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	data, err = os.ReadFile(p)
-	if errors.Is(err, os.ErrNotExist) {
+	data, err = c.fsys.ReadFile(p)
+	if durable.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
@@ -69,30 +84,32 @@ func (c *Cache) Get(key string) (data []byte, ok bool, err error) {
 }
 
 // Put stores data under key, atomically replacing any existing object.
+// The object is fsynced before the rename, so an acknowledged write
+// survives a crash.
 func (c *Cache) Put(key string, data []byte) error {
 	p, err := c.path(key)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	return durable.WriteFileAtomic(c.fsys, p, data, true)
+}
+
+// Quarantine moves the corrupt object stored under key to
+// <dir>/quarantine/<key>, preserving the evidence for forensics instead
+// of leaving a poisoned object to be re-read (or silently overwriting
+// it). Quarantining an object that has already vanished is not an
+// error.
+func (c *Cache) Quarantine(key string) error {
+	p, err := c.path(key)
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
-		return err
+	qdir := filepath.Join(c.dir, "quarantine")
+	if err := c.fsys.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("sweep: quarantine %s: %w", key, err)
 	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		_ = os.Remove(tmp.Name())
-		return err
+	if err := c.fsys.Rename(p, filepath.Join(qdir, key)); err != nil && !durable.IsNotExist(err) {
+		return fmt.Errorf("sweep: quarantine %s: %w", key, err)
 	}
 	return nil
 }

@@ -2,12 +2,14 @@ package sweep
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
+
+	"bgploop/internal/durable"
 )
 
 // journalVersion is bumped when the entry schema changes; entries with a
@@ -25,29 +27,54 @@ type journalEntry struct {
 	Data json.RawMessage `json:"data"`
 }
 
+// JournalOptions tunes a journal's durability behaviour.
+type JournalOptions struct {
+	// FS routes the journal's file operations; nil means the real
+	// filesystem. Fault-injection tests pass a durable.FaultFS so
+	// ENOSPC/EIO/torn-write schedules exercise the production code path.
+	FS durable.FS
+	// SyncEvery is the fsync cadence on Append: 0 (the default) never
+	// fsyncs during the run — appends are flushed to the OS, which
+	// survives a process kill but not a machine crash; 1 fsyncs every
+	// append; N fsyncs every N appends. Close always fsyncs, whatever
+	// the cadence, so a completed sweep's checkpoint is durable.
+	SyncEvery int
+}
+
 // Journal is an append-only checkpoint of completed sweep trials. Every
 // finished trial is written as one JSON line and flushed, so a sweep
 // killed mid-flight loses at most the line being written — the loader
 // tolerates a torn final line — and a restarted sweep resumes from the
 // completed set instead of re-simulating it.
 type Journal struct {
-	path    string
-	f       *os.File
-	w       *bufio.Writer
-	entries map[int]journalEntry
+	path      string
+	fsys      durable.FS
+	f         durable.File
+	w         *bufio.Writer
+	entries   map[int]journalEntry
+	syncEvery int
+	sinceSync int
 }
 
-// OpenJournal opens the checkpoint file at path. With resume=true any
+// OpenJournal opens the checkpoint file at path with default options
+// (real filesystem, no fsync until Close). With resume=true any
 // existing entries are loaded for replay; otherwise the file is
 // truncated and the sweep checkpoints from scratch.
 func OpenJournal(path string, resume bool) (*Journal, error) {
+	return OpenJournalOpts(path, resume, JournalOptions{})
+}
+
+// OpenJournalOpts is OpenJournal with an explicit filesystem and sync
+// policy.
+func OpenJournalOpts(path string, resume bool, o JournalOptions) (*Journal, error) {
 	if path == "" {
 		return nil, errors.New("sweep: empty journal path")
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	fsys := durable.OrOS(o.FS)
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: open journal: %w", err)
 	}
-	j := &Journal{path: path, entries: map[int]journalEntry{}}
+	j := &Journal{path: path, fsys: fsys, entries: map[int]journalEntry{}, syncEvery: o.SyncEvery}
 	if resume {
 		if err := j.load(); err != nil {
 			return nil, err
@@ -57,7 +84,7 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	if !resume {
 		flags |= os.O_TRUNC
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := fsys.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open journal: %w", err)
 	}
@@ -69,18 +96,14 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 // load reads existing entries, ignoring unparseable lines (a torn write
 // from a killed sweep must not poison the resume).
 func (j *Journal) load() error {
-	f, err := os.Open(j.path)
-	if errors.Is(err, os.ErrNotExist) {
+	data, err := j.fsys.ReadFile(j.path)
+	if durable.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("sweep: load journal: %w", err)
 	}
-	defer func() { _ = f.Close() }()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
 		if len(line) == 0 {
 			continue
 		}
@@ -92,9 +115,6 @@ func (j *Journal) load() error {
 			continue
 		}
 		j.entries[e.Trial] = e
-	}
-	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
-		return fmt.Errorf("sweep: load journal: %w", err)
 	}
 	return nil
 }
@@ -116,8 +136,10 @@ func (j *Journal) Lookup(trial int, key string) ([]byte, bool) {
 }
 
 // Append checkpoints one completed trial and flushes it to the OS, so a
-// subsequent kill cannot lose it. Append must only be called from one
-// goroutine (the executor's merging loop).
+// subsequent kill cannot lose it; under a positive sync policy it is
+// additionally fsynced every SyncEvery appends, so a machine crash
+// cannot either. Append must only be called from one goroutine (the
+// executor's merging loop).
 func (j *Journal) Append(trial int, key string, data []byte) error {
 	if _, ok := j.entries[trial]; ok {
 		return nil // already checkpointed (e.g. replayed entry)
@@ -133,20 +155,38 @@ func (j *Journal) Append(trial int, key string, data []byte) error {
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
+	if j.syncEvery > 0 {
+		j.sinceSync++
+		if j.sinceSync >= j.syncEvery {
+			if err := j.f.Sync(); err != nil {
+				return fmt.Errorf("sweep: journal sync: %w", err)
+			}
+			j.sinceSync = 0
+		}
+	}
 	j.entries[trial] = e
 	return nil
 }
 
-// Close flushes and closes the journal file.
+// Close flushes, fsyncs, and closes the journal file. The fsync is
+// unconditional — whatever the append cadence, a journal that closed
+// cleanly is durable.
 func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
 	ferr := j.w.Flush()
+	var serr error
+	if ferr == nil {
+		serr = j.f.Sync()
+	}
 	cerr := j.f.Close()
 	j.f = nil
 	if ferr != nil {
 		return ferr
+	}
+	if serr != nil {
+		return serr
 	}
 	return cerr
 }

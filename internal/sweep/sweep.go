@@ -170,6 +170,10 @@ type Stats struct {
 	CacheMisses int
 	Resumed     int
 	Deduped     int
+	// Quarantined counts cache objects that failed to decode and were
+	// moved to the cache's quarantine directory instead of being treated
+	// as silent misses.
+	Quarantined int
 	// Failed, Canceled, and Skipped count the non-Done terminal states.
 	Failed   int
 	Canceled int
@@ -184,6 +188,7 @@ func (s *Stats) Add(other Stats) {
 	s.CacheMisses += other.CacheMisses
 	s.Resumed += other.Resumed
 	s.Deduped += other.Deduped
+	s.Quarantined += other.Quarantined
 	s.Failed += other.Failed
 	s.Canceled += other.Canceled
 	s.Skipped += other.Skipped
@@ -310,7 +315,13 @@ func Run[T any](ctx context.Context, trials int, task Task[T], opts Options[T]) 
 			}
 			v, err := opts.Codec.Decode(data)
 			if err != nil {
-				// Corrupt object: treat as a miss and overwrite later.
+				// Corrupt object: quarantine the evidence (visible in stats
+				// and /metrics), then treat the probe as a miss so the trial
+				// re-executes and writes a fresh object.
+				if qerr := opts.Cache.Quarantine(keys[i]); qerr != nil {
+					return nil, fmt.Errorf("sweep: quarantine trial %d: %w", i, qerr)
+				}
+				out.Stats.Quarantined++
 				out.Stats.CacheMisses++
 				continue
 			}
