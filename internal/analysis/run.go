@@ -41,7 +41,12 @@ var (
 	// map-order dependence there would make fault schedules and WAL
 	// recovery nondeterministic, which is exactly what FaultFS exists
 	// to rule out.
-	harnessPackages = []string{"internal/durable", "internal/serve", "internal/sweep"}
+	// internal/dist (the distributed sweep coordinator/worker layer)
+	// joins for the same reason as serve: lease deadlines and worker
+	// backoff must take time only from the injected dist.Config.Now and
+	// WorkerConfig.Sleep hooks, and lease IDs are sequential, never
+	// random — otherwise reassignment and hedging would be unreplayable.
+	harnessPackages = []string{"internal/dist", "internal/durable", "internal/serve", "internal/sweep"}
 	// staticPackages analyse scenario configs without running the kernel;
 	// their verdicts are cached content-addressed, so they are held to the
 	// same determinism bar as the simulation itself (a map-order-dependent

@@ -24,14 +24,18 @@ func TestNoConcurrencyScopeCoversKernel(t *testing.T) {
 
 // TestHarnessScopeDeterminismAnalyzers asserts the harness packages —
 // internal/sweep (the trial executor), internal/serve (the bgpd
-// service core), and internal/durable (the crash-safety layer) — are
+// service core), internal/durable (the crash-safety layer), and
+// internal/dist (the distributed sweep coordinator/worker layer) — are
 // held to the rest of the determinism contract: no wall clock, no
 // global rand, no map-order dependence, no exact float comparison. For
 // internal/serve the norealtime pin is what forces the daemon's clock
 // through the injected serve.Config.Now hook; for internal/durable it
-// keeps FaultFS schedules and WAL recovery replayable.
+// keeps FaultFS schedules and WAL recovery replayable; for
+// internal/dist it forces lease deadlines through dist.Config.Now and
+// worker backoff through WorkerConfig.Sleep, keeping reassignment and
+// hedging decisions replayable.
 func TestHarnessScopeDeterminismAnalyzers(t *testing.T) {
-	for _, pkg := range []string{"internal/sweep", "internal/serve", "internal/durable"} {
+	for _, pkg := range []string{"internal/sweep", "internal/serve", "internal/durable", "internal/dist"} {
 		for _, a := range []*Analyzer{
 			NoRealTimeAnalyzer(), MapRangeAnalyzer(), FloatEqAnalyzer(),
 		} {

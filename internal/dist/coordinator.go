@@ -1,0 +1,584 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bgploop/internal/durable"
+)
+
+// Config tunes a Coordinator. The zero value is usable for tests: time
+// stands still unless Now is injected (leases then never expire), and
+// nothing is journaled unless StoreDir is set.
+type Config struct {
+	// ChunkSize caps how many trials one lease carries; <= 0 means 4.
+	// Chunking amortizes per-lease HTTP and scenario-rebuild overhead;
+	// the merged output is byte-identical at any chunk size.
+	ChunkSize int
+	// LeaseTTL is how long a worker may hold a lease before its trials
+	// are reassigned; <= 0 means 60s. It also bounds worker liveness:
+	// a worker unseen for 2×TTL no longer counts as live.
+	LeaseTTL time.Duration
+	// HedgeLast enables tail hedging: when a sweep has no pending
+	// trials and at most HedgeLast chunks remain outstanding, an idle
+	// worker is issued a duplicate of the oldest outstanding chunk —
+	// first result wins, the loser is counted and dropped. 0 (the zero
+	// value) disables hedging; bgpd's -dist-hedge flag defaults to 2.
+	HedgeLast int
+	// MaxHedges caps duplicate grants per chunk; <= 0 means 1.
+	MaxHedges int
+	// StoreDir, when non-empty, journals lease grants and completions
+	// to a checksummed WAL under <StoreDir>/wal/dist.jsonl, so a
+	// restarted coordinator resumes lease accounting (orphaned grants
+	// surface as recovered/reassigned, not fresh) instead of starting
+	// blind. Trial-result durability lives in the sweep checkpoint
+	// journal, not here.
+	StoreDir string
+	// FS routes lease-log file operations; nil means the real
+	// filesystem.
+	FS durable.FS
+	// Now injects the wall clock for lease deadlines and worker
+	// liveness (cmd/bgpd passes time.Now; the dist package itself may
+	// not touch the clock — detlint's norealtime scope). Nil freezes
+	// time, which disables expiry but never affects results.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 4
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 60 * time.Second
+	}
+	if c.MaxHedges <= 0 {
+		c.MaxHedges = 1
+	}
+	if c.Now == nil {
+		c.Now = func() time.Time { return time.Time{} }
+	}
+	return c
+}
+
+// Counters is a snapshot of the coordinator's accounting, exposed as
+// the bgpd_dist_* families in /metrics.
+type Counters struct {
+	// WorkersLive and LeasesOutstanding are gauges computed at snapshot
+	// time; the rest are monotonic counters.
+	WorkersLive       int64
+	LeasesOutstanding int64
+
+	LeasesGranted    int64
+	LeasesReassigned int64 // expired leases whose trials went back to pending
+	LeasesHedged     int64 // duplicate grants issued for tail chunks
+	LeasesCompleted  int64
+	LeasesRecovered  int64 // orphaned grants found in the lease log at startup
+	DuplicateResults int64 // reported trials already merged from another lease
+	RemoteTrials     int64 // trial results merged from workers
+	TrialErrors      int64 // trials a worker reported as failed
+	LogErrors        int64 // lease-log append failures (accounting degraded)
+	DroppedRecords   int64 // torn/corrupt lease-log lines skipped at startup
+}
+
+// workerState tracks one registered worker's liveness.
+type workerState struct {
+	id       string
+	name     string
+	lastSeen time.Time
+	gone     bool
+}
+
+// Coordinator owns the lease tables of every distributed sweep in the
+// process, the worker registry, and the lease WAL. It is the server
+// half of the /v1/work protocol; internal/serve mounts its handlers and
+// scrapes its counters.
+type Coordinator struct {
+	cfg Config
+
+	mu         sync.Mutex
+	sweeps     map[string]*sweepState
+	sweepOrder []string
+	workers    map[string]*workerState
+	workerIDs  []string // registration order, for deterministic scans
+	nextWorker int
+	nextLease  int
+	counters   Counters
+
+	log *Log
+	// recovered maps sweep ID -> orphaned grant count folded from the
+	// lease log at startup; consumed by StartSweep.
+	recovered map[string]int
+	// keep holds the compacted records of unfinished sweeps so later
+	// compactions preserve history the fold already accounted for.
+	keep []Record
+}
+
+// New builds a Coordinator and, when Config.StoreDir is set, opens and
+// folds its lease WAL. The error is non-nil only for storage problems.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:       cfg,
+		sweeps:    map[string]*sweepState{},
+		workers:   map[string]*workerState{},
+		recovered: map[string]int{},
+	}
+	if cfg.StoreDir != "" {
+		log, records, err := OpenLog(cfg.FS, LogPath(cfg.StoreDir))
+		if err != nil {
+			return nil, fmt.Errorf("dist: open lease WAL: %w", err)
+		}
+		c.log = log
+		c.counters.DroppedRecords = int64(log.Dropped())
+		c.fold(records)
+	}
+	return c, nil
+}
+
+// LogPath locates the lease WAL under a store directory.
+func LogPath(storeDir string) string {
+	return filepath.Join(storeDir, "wal", "dist.jsonl")
+}
+
+// fold replays the lease log: finished sweeps are dropped, and for each
+// unfinished sweep the grants that never completed are counted as
+// orphans — their trials were in flight when the previous coordinator
+// died, and the restarted sweep's re-grants count as reassignments, not
+// fresh work. The log is compacted to the unfinished residue.
+func (c *Coordinator) fold(records []Record) {
+	type sweepFold struct {
+		done    bool
+		granted map[string]bool
+		records []Record
+	}
+	folds := map[string]*sweepFold{}
+	var order []string
+	for _, r := range records {
+		f, ok := folds[r.Sweep]
+		if !ok {
+			f = &sweepFold{granted: map[string]bool{}}
+			folds[r.Sweep] = f
+			order = append(order, r.Sweep)
+		}
+		f.records = append(f.records, r)
+		switch r.Type {
+		case RecordGrant:
+			f.granted[r.Lease] = true
+		case RecordComplete:
+			delete(f.granted, r.Lease)
+		case RecordDone:
+			f.done = true
+		}
+	}
+	var compacted []Record
+	for _, id := range order {
+		f := folds[id]
+		if f.done {
+			continue
+		}
+		c.recovered[id] = len(f.granted)
+		c.counters.LeasesRecovered += int64(len(f.granted))
+		compacted = append(compacted, f.records...)
+	}
+	c.keep = compacted
+	if err := c.log.Compact(compacted); err != nil {
+		c.counters.LogErrors++
+	}
+}
+
+// append journals one record, degrading to in-memory accounting on
+// failure — a sick disk must not stall the fleet.
+func (c *Coordinator) append(r Record) {
+	if c.log == nil {
+		return
+	}
+	if err := c.log.Append(r); err != nil {
+		c.counters.LogErrors++
+	}
+}
+
+// Close closes the lease WAL.
+func (c *Coordinator) Close() error {
+	if c.log == nil {
+		return nil
+	}
+	return c.log.Close()
+}
+
+// Counters snapshots the accounting, computing the liveness and
+// outstanding-lease gauges against the injected clock.
+func (c *Coordinator) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.cfg.Now())
+	snap := c.counters
+	cutoff := 2 * c.cfg.LeaseTTL
+	now := c.cfg.Now()
+	for _, id := range c.workerIDs {
+		w := c.workers[id]
+		if !w.gone && (now.IsZero() || now.Sub(w.lastSeen) <= cutoff) {
+			snap.WorkersLive++
+		}
+	}
+	for _, id := range c.sweepOrder {
+		snap.LeasesOutstanding += int64(len(c.sweeps[id].leases))
+	}
+	return snap
+}
+
+// Sweep is a handle on one distributed sweep; its Execute method is the
+// sweep.Options.Remote implementation the service layer plugs in.
+type Sweep struct {
+	c  *Coordinator
+	id string
+}
+
+// ErrSweepFinished is returned by Execute after Finish.
+var ErrSweepFinished = errors.New("dist: sweep finished")
+
+// StartSweep registers a sweep for distribution: id must be stable
+// across coordinator restarts (the service layer derives it from the
+// job's content address), spec is the scenario spec workers rebuild
+// trials from, and width is the sweep's trial count. Restarting a sweep
+// whose previous incarnation had leases in flight counts those grants
+// as reassigned.
+func (c *Coordinator) StartSweep(id string, spec []byte, width int) (*Sweep, error) {
+	if id == "" {
+		return nil, errors.New("dist: empty sweep id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sweeps[id]; ok {
+		return nil, fmt.Errorf("dist: sweep %s already active", id)
+	}
+	c.sweeps[id] = newSweepState(id, spec, width)
+	c.sweepOrder = append(c.sweepOrder, id)
+	if orphans := c.recovered[id]; orphans > 0 {
+		c.counters.LeasesReassigned += int64(orphans)
+		delete(c.recovered, id)
+	}
+	c.append(Record{Type: RecordSweep, Sweep: id, TrialCount: width})
+	return &Sweep{c: c, id: id}, nil
+}
+
+// Finish deregisters the sweep: outstanding leases are dropped, any
+// still-waiting Execute calls fail with ErrSweepFinished, and the lease
+// log records the sweep as done so its records compact away.
+func (s *Sweep) Finish() {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[s.id]
+	if !ok {
+		return
+	}
+	sw.done = true
+	delete(c.sweeps, s.id)
+	for i, id := range c.sweepOrder {
+		if id == s.id {
+			c.sweepOrder = append(c.sweepOrder[:i], c.sweepOrder[i+1:]...)
+			break
+		}
+	}
+	for _, idx := range sw.pending {
+		if slot := sw.slots[idx]; slot != nil && !slot.done && !slot.abandoned {
+			slot.done = true
+			slot.ch <- trialOutcome{err: ErrSweepFinished}
+		}
+	}
+	for _, l := range sw.order {
+		lease, ok := sw.leases[l]
+		if !ok {
+			continue
+		}
+		for _, idx := range lease.trials {
+			if slot := sw.slots[idx]; slot != nil && !slot.done && !slot.abandoned {
+				slot.done = true
+				slot.ch <- trialOutcome{err: ErrSweepFinished}
+			}
+		}
+	}
+	c.append(Record{Type: RecordDone, Sweep: s.id})
+}
+
+// Execute satisfies one trial through the fleet: it registers the trial
+// as wanted, waits for a worker's result, and returns the encoded
+// result bytes. It is the sweep.Options.Remote seam — the caller (the
+// local sweep executor) decodes the bytes through the shared codec, so
+// the merged output is byte-identical to a local run. Cancellation of
+// ctx abandons the trial.
+func (s *Sweep) Execute(ctx context.Context, trial int, key string) ([]byte, error) {
+	c := s.c
+	c.mu.Lock()
+	sw, ok := c.sweeps[s.id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, ErrSweepFinished
+	}
+	if _, dup := sw.slots[trial]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dist: trial %d already registered in sweep %s", trial, s.id)
+	}
+	slot := &trialSlot{index: trial, key: key, ch: make(chan trialOutcome, 1)}
+	sw.slots[trial] = slot
+	sw.addPending(trial)
+	c.mu.Unlock()
+
+	select {
+	case out := <-slot.ch:
+		return out.data, out.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		if !slot.done {
+			slot.abandoned = true
+			slot.done = true
+			sw.removePending(trial)
+		}
+		c.mu.Unlock()
+		// Drain a result that raced the cancellation; the context error
+		// still wins (the sweep is aborting anyway).
+		select {
+		case <-slot.ch:
+		default:
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// register adds a worker and assigns its canonical ID.
+func (c *Coordinator) register(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	id := fmt.Sprintf("w-%06d", c.nextWorker)
+	c.workers[id] = &workerState{id: id, name: name, lastSeen: c.cfg.Now()}
+	c.workerIDs = append(c.workerIDs, id)
+	return id
+}
+
+// deregister marks a worker gone (graceful drain).
+func (c *Coordinator) deregister(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[id]; ok {
+		w.gone = true
+	}
+}
+
+// touch refreshes a worker's liveness; false means the worker is
+// unknown (it must re-register — e.g. the coordinator restarted).
+func (c *Coordinator) touch(id string) bool {
+	w, ok := c.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastSeen = c.cfg.Now()
+	w.gone = false
+	return true
+}
+
+// expireLocked reassigns every lease past its deadline: the lease is
+// dropped and its not-yet-done trials go back to pending, to be
+// re-chunked for the next idle worker. Expiry is assessed lazily on
+// coordinator entry points (polls, reports, metric scrapes) — there is
+// no background timer, so the package needs no clock of its own; any
+// live worker's poll drives the reaper.
+func (c *Coordinator) expireLocked(now time.Time) {
+	if now.IsZero() {
+		return // frozen clock (tests without Now): expiry disabled
+	}
+	for _, sid := range c.sweepOrder {
+		sw := c.sweeps[sid]
+		for _, lid := range append([]string(nil), sw.order...) {
+			l, ok := sw.leases[lid]
+			if !ok || !now.After(l.deadline) {
+				continue
+			}
+			sw.dropLease(lid)
+			requeued := false
+			for _, idx := range l.trials {
+				slot := sw.slots[idx]
+				if slot == nil || slot.done {
+					continue
+				}
+				slot.cover--
+				if slot.cover <= 0 {
+					slot.cover = 0
+					sw.addPending(idx)
+					requeued = true
+				}
+			}
+			if requeued {
+				c.counters.LeasesReassigned++
+			}
+		}
+	}
+}
+
+// acquire grants a lease to worker, applying expiry first and hedging
+// when nothing is pending. A nil lease with ok=true means "idle, poll
+// again"; ok=false means the worker is unknown.
+func (c *Coordinator) acquire(worker string) (l *Lease, hedged, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.touch(worker) {
+		return nil, false, false
+	}
+	now := c.cfg.Now()
+	c.expireLocked(now)
+
+	// Sweeps are scanned in admission order: earlier sweeps drain first,
+	// mirroring the local executor's ascending dispatch.
+	for _, sid := range c.sweepOrder {
+		sw := c.sweeps[sid]
+		if len(sw.pending) == 0 {
+			continue
+		}
+		take := sw.takePending(c.cfg.ChunkSize)
+		return c.grantLocked(sw, worker, take, false, now), false, true
+	}
+
+	// Nothing pending anywhere: hedge the tail. Re-issue the oldest
+	// outstanding chunk of the first sweep in the hedging window.
+	if c.cfg.HedgeLast > 0 {
+		for _, sid := range c.sweepOrder {
+			sw := c.sweeps[sid]
+			if n := sw.outstanding(); n == 0 || n > c.cfg.HedgeLast {
+				continue
+			}
+			cand := sw.hedgeCandidate(worker, c.cfg.MaxHedges)
+			if cand == nil {
+				continue
+			}
+			cand.hedges++
+			c.counters.LeasesHedged++
+			return c.grantLocked(sw, worker, append([]int(nil), cand.trials...), true, now), true, true
+		}
+	}
+	return nil, false, true
+}
+
+// grantLocked creates and journals one lease over the given trials.
+func (c *Coordinator) grantLocked(sw *sweepState, worker string, trials []int, hedged bool, now time.Time) *Lease {
+	c.nextLease++
+	id := fmt.Sprintf("lease-%06d", c.nextLease)
+	attempt := 1
+	keys := make([]string, len(trials))
+	for i, idx := range trials {
+		slot := sw.slots[idx]
+		slot.cover++
+		slot.attempts++
+		if slot.attempts > attempt {
+			attempt = slot.attempts
+		}
+		keys[i] = slot.key
+	}
+	l := &lease{
+		id: id, sweep: sw.id, worker: worker,
+		trials: trials, attempt: attempt, hedged: hedged,
+		deadline: now.Add(c.cfg.LeaseTTL),
+	}
+	sw.leases[id] = l
+	sw.order = append(sw.order, id)
+	c.counters.LeasesGranted++
+	c.append(Record{
+		Type: RecordGrant, Sweep: sw.id, Lease: id, Worker: worker,
+		Trials: trials, Attempt: attempt,
+	})
+	return &Lease{
+		ID: id, Sweep: sw.id, Spec: append([]byte(nil), sw.spec...),
+		Trials: append([]int(nil), trials...), Keys: keys, Attempt: attempt,
+	}
+}
+
+// report merges one result report. Per-trial, first result wins: a
+// trial already merged (hedged twin or reassigned predecessor landed
+// first) counts as a duplicate and is dropped; a key mismatch (a
+// version-skewed worker rebuilt a different scenario) is rejected.
+// Reports remain valid after lease expiry — the work is content-
+// addressed, so a straggler's late result still merges if its trials
+// are still wanted.
+func (c *Coordinator) report(rep *ResultReport) (ReportResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.touch(rep.Worker) {
+		return ReportResponse{}, errUnregistered
+	}
+	sw, ok := c.sweeps[rep.Sweep]
+	if !ok {
+		// The sweep finished (or never existed): everything is a
+		// duplicate from the fleet's point of view.
+		c.counters.DuplicateResults += int64(len(rep.Results))
+		return ReportResponse{Duplicates: len(rep.Results)}, nil
+	}
+	now := c.cfg.Now()
+	c.expireLocked(now)
+
+	l := sw.leases[rep.Lease]
+	resp := ReportResponse{}
+	for _, tr := range rep.Results {
+		slot := sw.slots[tr.Trial]
+		if slot == nil || slot.done {
+			resp.Duplicates++
+			c.counters.DuplicateResults++
+			continue
+		}
+		if tr.Key != slot.key {
+			resp.Duplicates++
+			c.counters.DuplicateResults++
+			continue
+		}
+		if tr.Error != "" {
+			// Failures only merge from the lease that still covers the
+			// trial; a stale lease's failure must not pre-empt a
+			// reassigned twin that may still succeed.
+			if l == nil {
+				resp.Duplicates++
+				c.counters.DuplicateResults++
+				continue
+			}
+			slot.done = true
+			sw.removePending(tr.Trial)
+			c.counters.TrialErrors++
+			slot.ch <- trialOutcome{err: fmt.Errorf("dist: worker %s trial %d: %s", rep.Worker, tr.Trial, tr.Error)}
+			resp.Accepted++
+			continue
+		}
+		if len(tr.Data) == 0 {
+			resp.Duplicates++
+			c.counters.DuplicateResults++
+			continue
+		}
+		slot.done = true
+		sw.removePending(tr.Trial)
+		c.counters.RemoteTrials++
+		slot.ch <- trialOutcome{data: append([]byte(nil), tr.Data...)}
+		resp.Accepted++
+	}
+
+	if l != nil {
+		sw.dropLease(rep.Lease)
+		for _, idx := range l.trials {
+			if slot := sw.slots[idx]; slot != nil && !slot.done {
+				slot.cover--
+				if slot.cover <= 0 {
+					slot.cover = 0
+					sw.addPending(idx)
+				}
+			}
+		}
+		c.counters.LeasesCompleted++
+		c.append(Record{
+			Type: RecordComplete, Sweep: sw.id, Lease: rep.Lease,
+			Worker: rep.Worker, Trials: l.trials, Attempt: l.attempt,
+			Duplicate: resp.Accepted == 0,
+		})
+	}
+	return resp, nil
+}
+
+var errUnregistered = errors.New("dist: unregistered worker")

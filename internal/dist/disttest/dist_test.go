@@ -1,0 +1,313 @@
+// Package disttest is the distributed-execution smoke harness: it runs
+// a real `bgpd -dist` coordinator and real `bgpworker` subprocesses on
+// localhost, SIGKILLs one worker mid-sweep, and asserts that the
+// finally-served digests are byte-identical to an uninterrupted `bgpsim
+// -digest` run of the same scenario — with the coordinator's
+// lease-reassignment counter proving the dead worker's chunk actually
+// moved, and a SIGTERM drain proving workers exit gracefully.
+//
+// The kill is gated on the coordinator's own metrics, not wall time:
+// the harness starts a single worker, waits until /metrics shows a
+// lease outstanding (that lease can only belong to the one worker), and
+// fires the SIGKILL then — the same logical-progress-trigger discipline
+// as the durable chaos harness.
+//
+// Everything here lives in _test.go files on purpose: the package is
+// pure harness, and the determinism linter's production-scope rules do
+// not apply to tests.
+package disttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const (
+	cliqueSize = 16
+	trials     = 10
+	seed       = 5
+)
+
+var runBody = fmt.Sprintf(
+	`{"spec": {"topology": {"family": "clique", "size": %d}, "event": "tdown", "seed": %d}, "trials": %d}`,
+	cliqueSize, seed, trials)
+
+// buildBinaries compiles bgpd, bgpworker, and bgpsim into a temp dir.
+func buildBinaries(t *testing.T) (bgpd, bgpworker, bgpsim string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bgpd = filepath.Join(dir, "bgpd")
+	bgpworker = filepath.Join(dir, "bgpworker")
+	bgpsim = filepath.Join(dir, "bgpsim")
+	for bin, pkg := range map[string]string{bgpd: "./cmd/bgpd", bgpworker: "./cmd/bgpworker", bgpsim: "./cmd/bgpsim"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return bgpd, bgpworker, bgpsim
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// proc is one subprocess lifecycle (coordinator or worker).
+type proc struct {
+	cmd *exec.Cmd
+	out lockedBuffer
+}
+
+func start(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{}
+	p.cmd = exec.Command(bin, args...)
+	p.cmd.Stdout = &p.out
+	p.cmd.Stderr = &p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+// waitHealthy polls /healthz until the coordinator answers.
+func waitHealthy(t *testing.T, addr string, p *proc) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("bgpd did not come up on %s\n%s", addr, p.out.String())
+}
+
+// metric scrapes one integer family from /metrics (0 if absent).
+func metric(t *testing.T, addr, name string) int64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// waitMetric polls until the named family reaches at least want.
+func waitMetric(t *testing.T, addr, name string, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if metric(t, addr, name) >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s: %s never reached %d (at %d)", what, name, want, metric(t, addr, name))
+}
+
+type jobView struct {
+	ID              string   `json:"id"`
+	State           string   `json:"state"`
+	Error           string   `json:"error"`
+	AggregateDigest string   `json:"aggregateDigest"`
+	ResultDigests   []string `json:"resultDigests"`
+	Stats           *struct {
+		Executed int
+		Remote   int
+	} `json:"stats"`
+}
+
+func getJob(t *testing.T, addr, id string) (jobView, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var v jobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func waitTerminal(t *testing.T, addr, id string, coord *proc) jobView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		v, code := getJob(t, addr, id)
+		if code == http.StatusOK && (v.State == "done" || v.State == "failed" || v.State == "canceled") {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state\ncoordinator:\n%s", id, coord.out.String())
+	return jobView{}
+}
+
+// TestDistSmokeKillWorkerDigestParity is the dist-smoke acceptance run:
+// a coordinator plus three workers on localhost, one worker SIGKILLed
+// while it holds a lease mid-sweep, and the served digests must be
+// byte-identical to an uninterrupted single-process `bgpsim -digest` —
+// with the lease-reassignment counter non-zero and every trial executed
+// by the fleet, not the coordinator.
+func TestDistSmokeKillWorkerDigestParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess dist-smoke run; skipped in -short")
+	}
+	bgpd, bgpworker, bgpsim := buildBinaries(t)
+	store := t.TempDir()
+	addr := freePort(t)
+
+	// Hedging is off so the dead worker's chunk can come back only via
+	// lease expiry — the smoke run pins the reassignment path, not the
+	// hedge shortcut (the in-process e2e tests cover hedging).
+	coord := start(t, bgpd,
+		"-listen", addr, "-store-dir", store,
+		"-dist", "-dist-chunk", "2", "-dist-lease-ttl", "2s", "-dist-hedge", "0")
+	waitHealthy(t, addr, coord)
+
+	// One worker first: any outstanding lease is provably its.
+	victim := start(t, bgpworker, "-coordinator", "http://"+addr, "-name", "victim", "-poll-interval", "20ms")
+
+	resp, err := http.Post("http://"+addr+"/v1/runs", "application/json", strings.NewReader(runBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted jobView
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: status %d, view %+v", resp.StatusCode, submitted)
+	}
+
+	// The kill trigger is logical progress, not wall time: a lease is
+	// outstanding (the lone worker holds it, mid-chunk) and the sweep is
+	// provably not finished (fewer than half the trials merged).
+	waitMetric(t, addr, "bgpd_dist_leases_outstanding", 1, "pre-kill")
+	if merged := metric(t, addr, "bgpd_dist_remote_trials_total"); merged >= trials {
+		t.Fatalf("sweep finished (%d trials) before the kill; scenario too small", merged)
+	}
+	if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.cmd.Wait()
+
+	// The survivors finish the sweep, including the dead worker's
+	// reassigned chunk.
+	w2 := start(t, bgpworker, "-coordinator", "http://"+addr, "-name", "w2", "-poll-interval", "20ms")
+	start(t, bgpworker, "-coordinator", "http://"+addr, "-name", "w3", "-poll-interval", "20ms")
+
+	final := waitTerminal(t, addr, submitted.ID, coord)
+	if final.State != "done" {
+		t.Fatalf("job state = %s (%s)\ncoordinator:\n%s", final.State, final.Error, coord.out.String())
+	}
+	if final.Stats == nil || final.Stats.Remote != trials || final.Stats.Executed != 0 {
+		t.Errorf("job stats = %+v, want Remote=%d Executed=0 (fleet did all the work)", final.Stats, trials)
+	}
+	if got := metric(t, addr, "bgpd_dist_leases_reassigned_total"); got < 1 {
+		t.Errorf("bgpd_dist_leases_reassigned_total = %d, want >= 1 (the SIGKILLed worker's chunk)", got)
+	}
+	if len(final.ResultDigests) != trials {
+		t.Errorf("served %d result digests, want %d", len(final.ResultDigests), trials)
+	}
+
+	// The parity oracle: an uninterrupted single-process bgpsim run.
+	out, err := exec.Command(bgpsim,
+		"-topo", "clique", "-size", fmt.Sprint(cliqueSize), "-event", "tdown",
+		"-seed", fmt.Sprint(seed), "-trials", fmt.Sprint(trials), "-digest").Output()
+	if err != nil {
+		t.Fatalf("bgpsim oracle: %v", err)
+	}
+	want := strings.TrimSpace(string(out))
+	if final.AggregateDigest != want {
+		t.Errorf("served aggregate digest %s != uninterrupted bgpsim digest %s", final.AggregateDigest, want)
+	}
+
+	// Graceful drain: SIGTERM a live worker; it must deregister and exit
+	// cleanly (status 0), and the live-worker gauge must drop.
+	before := metric(t, addr, "bgpd_dist_workers_live")
+	if err := w2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.cmd.Wait(); err != nil {
+		t.Errorf("SIGTERM drain exited dirty: %v\n%s", err, w2.out.String())
+	}
+	if !strings.Contains(w2.out.String(), "draining") {
+		t.Errorf("drained worker never logged the drain:\n%s", w2.out.String())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && metric(t, addr, "bgpd_dist_workers_live") >= before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := metric(t, addr, "bgpd_dist_workers_live"); got >= before {
+		t.Errorf("bgpd_dist_workers_live = %d after drain, want < %d", got, before)
+	}
+}

@@ -1,0 +1,249 @@
+// Package dist is the distributed sweep execution layer: a coordinator
+// that shards a sweep's trial-index space into leased chunks and fans
+// them out to remote worker processes over HTTP, and the worker loop
+// that pulls leases, executes trials through the existing
+// experiment.RunSweep path, and reports per-trial results.
+//
+// The subsystem is the layer between internal/sweep (single process)
+// and internal/serve (single bgpd): Coudert et al.'s feasibility study
+// on distributed BGP simulations decomposes exactly this way — each
+// trial is a self-contained deterministic run keyed by its content
+// address, so distribution only has to make the orchestration
+// order-insensitive:
+//
+//   - the coordinator plugs into sweep.Run through the Remote executor
+//     seam (sweep.Options.Remote), so cache probes, journal resume, the
+//     trial singleflight, and the index-addressed merge are the same
+//     code a local run uses — the merged aggregate is byte-identical to
+//     `bgpsim -digest` regardless of worker count, chunk size, worker
+//     crashes, or hedging;
+//   - workers rebuild each trial's Scenario from the leased spec and
+//     verify its CacheKey against the lease before reporting, so a
+//     version-skewed worker can never contribute a result for the wrong
+//     content address;
+//   - leases carry deadlines: a worker that crashes or stalls past the
+//     lease TTL has its shard reassigned to the next idle worker, and
+//     the tail of a sweep is hedged — outstanding chunks are re-issued
+//     to idle workers, first result wins, duplicates are counted and
+//     dropped.
+//
+// Lease grants and completions are journaled to a checksummed
+// write-ahead log (the same torn-tail-tolerant JSONL shape as bgpd's
+// job WAL), so a restarted coordinator resumes accounting instead of
+// starting blind; the trial results themselves are durable in the
+// sweep's checkpoint journal, which is what actually prevents completed
+// shards from re-running after a restart.
+//
+// The package sits in detlint's "harness" scope: goroutines are allowed
+// (it is orchestration, not kernel), but no wall clock — time arrives
+// only through the injected Config.Now / WorkerConfig.Sleep hooks — no
+// global rand (backoff is deterministic exponential), no map-order
+// dependence, and no float equality.
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// RecordVersion is bumped when the lease-log record schema changes;
+// records with a different version are dropped on load.
+const RecordVersion = 1
+
+// Record kinds in the coordinator's lease log.
+const (
+	// RecordSweep marks a sweep beginning distribution.
+	RecordSweep = "sweep"
+	// RecordGrant journals one lease grant (initial, reassigned, or
+	// hedged — Attempt disambiguates).
+	RecordGrant = "grant"
+	// RecordComplete journals a lease completion: the shard's trials
+	// reached the coordinator and were merged (or dropped as hedged
+	// duplicates — Duplicate disambiguates).
+	RecordComplete = "complete"
+	// RecordDone marks a sweep finishing; its records are dropped at the
+	// next compaction.
+	RecordDone = "done"
+)
+
+// Record is one entry in the coordinator's lease write-ahead log, one
+// JSON object per line. Every record embeds a truncated SHA-256
+// checksum over its canonical encoding, so a torn or bit-rotten line is
+// dropped on load instead of poisoning recovery — the same contract as
+// bgpd's job WAL (durable.Record).
+type Record struct {
+	V    int    `json:"v"`
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // sweep | grant | complete | done
+
+	// Sweep names the distributed sweep the record belongs to.
+	Sweep string `json:"sweep"`
+	// TrialCount is the sweep width (Type == "sweep").
+	TrialCount int `json:"trialCount,omitempty"`
+
+	// Lease fields (grant/complete).
+	Lease   string `json:"lease,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Trials  []int  `json:"trials,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// Duplicate marks a completion whose trials had already been merged
+	// from another lease (a hedged or reassigned twin finished first).
+	Duplicate bool `json:"duplicate,omitempty"`
+
+	// Sum is the integrity checksum: the first 16 hex characters of
+	// SHA-256 over the record's canonical JSON with Sum itself empty.
+	Sum string `json:"sum"`
+}
+
+// sum computes the record's canonical checksum.
+func (r Record) sum() (string, error) {
+	r.Sum = ""
+	data, err := json.Marshal(r)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])[:16], nil
+}
+
+// EncodeRecord renders one lease-log line (without the trailing
+// newline), stamping the version and checksum.
+func EncodeRecord(r Record) ([]byte, error) {
+	r.V = RecordVersion
+	s, err := r.sum()
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode lease record: %w", err)
+	}
+	r.Sum = s
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode lease record: %w", err)
+	}
+	return data, nil
+}
+
+// ErrBadRecord marks a lease-log line that failed structural validation
+// or its integrity check.
+var ErrBadRecord = errors.New("dist: bad lease record")
+
+// DecodeRecord parses and verifies one lease-log line. It never panics
+// on hostile input (FuzzLeaseRecord pins that); any structural or
+// checksum failure returns an error wrapping ErrBadRecord.
+func DecodeRecord(line []byte) (Record, error) {
+	var r Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if dec.More() {
+		return Record{}, fmt.Errorf("%w: trailing data after record", ErrBadRecord)
+	}
+	if r.V != RecordVersion {
+		return Record{}, fmt.Errorf("%w: version %d, want %d", ErrBadRecord, r.V, RecordVersion)
+	}
+	switch r.Type {
+	case RecordSweep, RecordGrant, RecordComplete, RecordDone:
+	default:
+		return Record{}, fmt.Errorf("%w: unknown type %q", ErrBadRecord, r.Type)
+	}
+	if r.Sweep == "" {
+		return Record{}, fmt.Errorf("%w: empty sweep id", ErrBadRecord)
+	}
+	want, err := r.sum()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if r.Sum != want {
+		return Record{}, fmt.Errorf("%w: checksum %q, want %q", ErrBadRecord, r.Sum, want)
+	}
+	return r, nil
+}
+
+// The HTTP wire protocol under /v1/work/. All bodies are JSON; workers
+// authenticate by their coordinator-assigned ID (this is a cluster-
+// internal protocol, not an internet-facing one — bgpd's public surface
+// stays /v1/runs).
+
+// RegisterRequest is POST /v1/work/register: a worker announcing
+// itself. Name is advisory (diagnostics); the coordinator assigns the
+// canonical worker ID.
+type RegisterRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse carries the assigned worker ID the worker must
+// present on every subsequent call.
+type RegisterResponse struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseRequest is POST /v1/work/lease: a registered worker asking for a
+// chunk of trials. It doubles as the heartbeat — every poll refreshes
+// the worker's liveness.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease is one granted chunk: a set of global trial indices from one
+// sweep, the scenario spec to rebuild them from, and the content
+// address each result must match. Attempt is 1 for a first grant and
+// increments on reassignment or hedging.
+type Lease struct {
+	ID    string          `json:"id"`
+	Sweep string          `json:"sweep"`
+	Spec  json.RawMessage `json:"spec"`
+	// Trials are global trial indices; Keys[i] is the expected
+	// CacheKey of Trials[i].
+	Trials  []int    `json:"trials"`
+	Keys    []string `json:"keys"`
+	Attempt int      `json:"attempt"`
+}
+
+// LeaseResponse answers a lease poll. A nil Lease with Idle=true means
+// "nothing to do right now, poll again"; Hedged marks a duplicate grant
+// of a still-outstanding chunk (tail hedging — first result wins).
+type LeaseResponse struct {
+	Lease  *Lease `json:"lease,omitempty"`
+	Hedged bool   `json:"hedged,omitempty"`
+	Idle   bool   `json:"idle,omitempty"`
+}
+
+// TrialResult is one executed trial inside a result report: the global
+// index, the content address the worker verified, and the encoded
+// result bytes (experiment.EncodeResult). A failed trial carries Error
+// instead of Data.
+type TrialResult struct {
+	Trial int             `json:"trial"`
+	Key   string          `json:"key"`
+	Data  json.RawMessage `json:"data,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// ResultReport is POST /v1/work/result: a worker returning a completed
+// lease.
+type ResultReport struct {
+	Worker  string        `json:"worker"`
+	Sweep   string        `json:"sweep"`
+	Lease   string        `json:"lease"`
+	Results []TrialResult `json:"results"`
+}
+
+// ReportResponse acknowledges a result report. Duplicates counts trials
+// that had already been merged from another lease (hedged twin or
+// reassigned predecessor finished first) and were dropped.
+type ReportResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+}
+
+// DeregisterRequest is POST /v1/work/deregister: a draining worker
+// saying goodbye so the live-worker gauge drops immediately instead of
+// waiting for its liveness window to lapse.
+type DeregisterRequest struct {
+	Worker string `json:"worker"`
+}

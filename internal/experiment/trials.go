@@ -109,6 +109,14 @@ type SweepOptions struct {
 	// persistence codec, which CacheDir/JournalPath/Resume or the Flight
 	// itself enable.
 	Flight *sweep.Flight
+	// Remote is the distributed-execution seam (see sweep.Options.Remote):
+	// when non-nil, trials with a content address are satisfied by the
+	// remote executor — internal/dist's coordinator hands them to a
+	// leased worker fleet — instead of simulating in this process. The
+	// returned bytes are decoded through the same Result codec the cache
+	// uses, so the merged aggregate is byte-identical to a local run.
+	// Uncacheable trials (empty CacheKey) always run locally.
+	Remote func(ctx context.Context, trial int, key string) ([]byte, error)
 	// Preflight runs the static safety analysis (internal/safety) on
 	// every generated scenario before simulating it: statically-UNSAFE
 	// scenarios are refused with ErrStaticallyUnsafe carrying the
@@ -219,7 +227,7 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 	// the empty key and always executes.
 	var codec sweep.Codec[*Result]
 	var keys []string
-	if cache != nil || opts.JournalPath != "" || opts.Resume || opts.Flight != nil {
+	if cache != nil || opts.JournalPath != "" || opts.Resume || opts.Flight != nil || opts.Remote != nil {
 		keys = make([]string, trials)
 		for i := range keys {
 			keys[i] = trialKey(gen, i)
@@ -278,6 +286,7 @@ func RunSweep(gen Generator, trials int, opts SweepOptions) (Aggregate, []*Resul
 		Cache:    cache,
 		Journal:  journal,
 		Flight:   opts.Flight,
+		Remote:   opts.Remote,
 		Progress: opts.Progress,
 	}
 	if opts.ContinueOnFailure {

@@ -70,6 +70,11 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Dist != nil {
+		// Worker-fleet endpoints (/v1/work/*) live on the same mux as
+		// the public API; the coordinator owns their handlers.
+		s.cfg.Dist.Mount(mux)
+	}
 	return mux
 }
 
@@ -168,6 +173,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scrapeGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.metrics.write(w)
+}
+
+// scrapeGauges folds scrape-time snapshots into the registry: the
+// process-wide trial singleflight's dedupe counters and, when a
+// coordinator is attached, the distributed-execution families.
+func (s *Server) scrapeGauges() {
+	fs := s.flight.Stats()
+	s.metrics.set("bgpd_flight_leads_total", fs.Leads)
+	s.metrics.set("bgpd_flight_shared_total", fs.Shared)
+	if s.cfg.Dist == nil {
+		return
+	}
+	c := s.cfg.Dist.Counters()
+	s.metrics.set("bgpd_dist_workers_live", c.WorkersLive)
+	s.metrics.set("bgpd_dist_leases_outstanding", c.LeasesOutstanding)
+	s.metrics.set("bgpd_dist_leases_granted_total", c.LeasesGranted)
+	s.metrics.set("bgpd_dist_leases_reassigned_total", c.LeasesReassigned)
+	s.metrics.set("bgpd_dist_leases_hedged_total", c.LeasesHedged)
+	s.metrics.set("bgpd_dist_leases_completed_total", c.LeasesCompleted)
+	s.metrics.set("bgpd_dist_leases_recovered_total", c.LeasesRecovered)
+	s.metrics.set("bgpd_dist_duplicate_results_total", c.DuplicateResults)
+	s.metrics.set("bgpd_dist_remote_trials_total", c.RemoteTrials)
+	s.metrics.set("bgpd_dist_trial_errors_total", c.TrialErrors)
+	s.metrics.set("bgpd_dist_log_errors_total", c.LogErrors)
+	s.metrics.set("bgpd_dist_dropped_records_total", c.DroppedRecords)
 }

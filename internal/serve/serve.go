@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"bgploop/internal/dist"
 	"bgploop/internal/durable"
 	"bgploop/internal/experiment"
 	"bgploop/internal/sweep"
@@ -102,6 +103,14 @@ type Config struct {
 	// norealtime scope). Nil freezes latencies at zero, which only mutes
 	// metrics; correctness never depends on time.
 	Now func() time.Time
+	// Dist, when non-nil, distributes cacheable jobs across the worker
+	// fleet: the coordinator's /v1/work endpoints are mounted on the
+	// server mux, each cacheable job's trials run through the remote
+	// executor seam (sweep.Options.Remote), and the coordinator's
+	// counters surface as the bgpd_dist_* metric families. Requires a
+	// CacheDir — distribution leans on content addresses. Uncacheable
+	// jobs always run locally.
+	Dist *dist.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -462,6 +471,25 @@ func (s *Server) runJob(j *job) {
 		opts.Flight = s.flight
 		opts.FS = s.cfg.FS
 		opts.JournalSync = s.cfg.JournalSync
+
+		if s.cfg.Dist != nil {
+			// Distributed execution: register the sweep with the
+			// coordinator (its ID is the job's dedupe key — a content
+			// address, so a restarted server resumes the same sweep)
+			// and plug its Execute in as the remote trial executor. All
+			// trials must be in flight at once for the fleet to see
+			// them, so the executor runs at full width; the merge is
+			// byte-identical at any width. Any registration problem
+			// falls back to local execution — distribution is an
+			// optimization, never a correctness dependency.
+			if spec, serr := dist.EncodeSweepSpec(j.spec, j.trials); serr == nil {
+				if sw, serr := s.cfg.Dist.StartSweep(j.key, spec, j.trials); serr == nil {
+					defer sw.Finish()
+					opts.Remote = sw.Execute
+					opts.Workers = j.trials
+				}
+			}
+		}
 	}
 
 	agg, results, _, err := s.runSweep(experiment.Repeat(j.sc), j.trials, opts)
@@ -524,6 +552,7 @@ func (s *Server) recordTrialStats(st sweep.Stats) {
 	s.metrics.inc("bgpd_trials_cache_misses_total", int64(st.CacheMisses))
 	s.metrics.inc("bgpd_trials_resumed_total", int64(st.Resumed))
 	s.metrics.inc("bgpd_trials_deduped_total", int64(st.Deduped))
+	s.metrics.inc("bgpd_trials_remote_total", int64(st.Remote))
 	s.metrics.inc("bgpd_trials_failed_total", int64(st.Failed))
 	s.metrics.inc("bgpd_trials_canceled_total", int64(st.Canceled))
 	s.recordQuarantined(st)
@@ -592,6 +621,8 @@ func sourceName(src sweep.Source) string {
 		return "journal"
 	case sweep.SourceFlight:
 		return "flight"
+	case sweep.SourceRemote:
+		return "remote"
 	default:
 		return ""
 	}

@@ -21,6 +21,18 @@ import (
 type Flight struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
+	stats FlightStats
+}
+
+// FlightStats counts what the singleflight did over its lifetime. The
+// counters were always tracked per-sweep (Stats.Deduped) but the
+// registry-wide totals are what the bgpd /metrics endpoint exposes:
+// Leads is how many executions were led through the Flight, Shared how
+// many concurrent callers were served a leader's bytes instead of
+// executing themselves.
+type FlightStats struct {
+	Leads  int64
+	Shared int64
 }
 
 // flightCall is one in-flight execution; done closes when the leader
@@ -34,6 +46,13 @@ type flightCall struct {
 // NewFlight returns an empty in-flight registry, safe for concurrent use.
 func NewFlight() *Flight {
 	return &Flight{calls: map[string]*flightCall{}}
+}
+
+// Stats snapshots the registry-wide dedupe counters.
+func (f *Flight) Stats() FlightStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
 }
 
 // Do executes fn for key exactly once across concurrent callers. The
@@ -59,6 +78,9 @@ func (f *Flight) Do(ctx context.Context, key string, fn func() ([]byte, error)) 
 				return nil, false, ctx.Err()
 			}
 			if c.err == nil {
+				f.mu.Lock()
+				f.stats.Shared++
+				f.mu.Unlock()
 				return c.data, true, nil
 			}
 			if err := ctx.Err(); err != nil {
@@ -68,6 +90,7 @@ func (f *Flight) Do(ctx context.Context, key string, fn func() ([]byte, error)) 
 		}
 		c := &flightCall{done: make(chan struct{})}
 		f.calls[key] = c
+		f.stats.Leads++
 		f.mu.Unlock()
 
 		c.data, c.err = fn()

@@ -90,6 +90,10 @@ const (
 	// SourceFlight means the result was shared from a concurrent
 	// execution of the same content address (Options.Flight singleflight).
 	SourceFlight
+	// SourceRemote means the trial was satisfied by the remote executor
+	// seam (Options.Remote) — typically a distributed worker fleet —
+	// instead of running in this process.
+	SourceRemote
 )
 
 // Task runs trial i and returns its result. The context is per-trial:
@@ -150,6 +154,18 @@ type Options[T any] struct {
 	// the Flight — onto one run. Requires Codec (sharing moves encoded
 	// bytes between callers). Trials without a key never share.
 	Flight *Flight
+	// Remote is the pluggable trial-executor seam: when non-nil, trials
+	// that have a content address are satisfied by calling Remote —
+	// which returns the trial's encoded result bytes, e.g. from a
+	// distributed worker fleet (internal/dist) — instead of running the
+	// Task in this process. Trials without a key have no content address
+	// to prove equality across machines, so they always run locally.
+	// Requires a complete Codec; the returned bytes are decoded through
+	// it, and the Codec round-trip contract makes the merged output
+	// byte-identical to a local run. Remote executions still route
+	// through the Flight when one is configured, so concurrent sweeps
+	// wanting the same content address share one remote execution.
+	Remote func(ctx context.Context, trial int, key string) ([]byte, error)
 	// Progress, when non-nil, is called from the merging goroutine after
 	// each trial reaches a terminal state, in completion order. It must
 	// not block for long; it runs on the sweep's critical path.
@@ -165,11 +181,14 @@ type Stats struct {
 	// CacheHits / CacheMisses count cache probes; Resumed counts trials
 	// replayed from the journal; Deduped counts trials whose result was
 	// shared from a concurrent in-flight execution of the same content
-	// address (Options.Flight) instead of being simulated here.
+	// address (Options.Flight) instead of being simulated here; Remote
+	// counts trials satisfied by the remote executor seam
+	// (Options.Remote) rather than this process.
 	CacheHits   int
 	CacheMisses int
 	Resumed     int
 	Deduped     int
+	Remote      int
 	// Quarantined counts cache objects that failed to decode and were
 	// moved to the cache's quarantine directory instead of being treated
 	// as silent misses.
@@ -188,6 +207,7 @@ func (s *Stats) Add(other Stats) {
 	s.CacheMisses += other.CacheMisses
 	s.Resumed += other.Resumed
 	s.Deduped += other.Deduped
+	s.Remote += other.Remote
 	s.Quarantined += other.Quarantined
 	s.Failed += other.Failed
 	s.Canceled += other.Canceled
@@ -253,6 +273,9 @@ func Run[T any](ctx context.Context, trials int, task Task[T], opts Options[T]) 
 	}
 	if opts.Flight != nil && !opts.Codec.enabled() {
 		return nil, errors.New("sweep: singleflight requires a complete Codec")
+	}
+	if opts.Remote != nil && !opts.Codec.enabled() {
+		return nil, errors.New("sweep: remote execution requires a complete Codec")
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -376,6 +399,8 @@ func Run[T any](ctx context.Context, trials int, task Task[T], opts Options[T]) 
 				out.Stats.Executed++
 			case SourceFlight:
 				out.Stats.Deduped++
+			case SourceRemote:
+				out.Stats.Remote++
 			}
 		}
 	}
@@ -472,16 +497,34 @@ func runInline[T any](ctx context.Context, task Task[T], opts Options[T], out *O
 // on re-encode per the Codec contract, so sharing never changes digests)
 // and is marked SourceFlight. Errors are never shared — a failed or
 // canceled leader makes the follower execute the trial itself.
+//
+// When Options.Remote is set and the trial has a content address, the
+// execution (leader or direct) is satisfied by the remote seam instead of
+// the local task; a remote payload that fails to decode falls back to
+// local execution (byte-identical by determinism), mirroring the cache's
+// corrupt-object-is-a-miss policy.
 func executeTrial[T any](ctx context.Context, task Task[T], opts Options[T], i int, key string) (T, Source, error) {
 	if opts.Flight == nil || key == "" {
+		if opts.Remote != nil && key != "" {
+			return executeRemote(ctx, task, opts, i, key)
+		}
 		v, err := task(ctx, i)
 		return v, SourceExecuted, err
 	}
 	var (
-		leaderV  T
-		isLeader bool
+		leaderV   T
+		isLeader  bool
+		leaderSrc = SourceExecuted
 	)
 	data, shared, err := opts.Flight.Do(ctx, key, func() ([]byte, error) {
+		if opts.Remote != nil {
+			v, src, data, err := remoteBytes(ctx, task, opts, i, key)
+			if err != nil {
+				return nil, err
+			}
+			leaderV, isLeader, leaderSrc = v, true, src
+			return data, nil
+		}
 		v, err := task(ctx, i)
 		if err != nil {
 			return nil, err
@@ -498,7 +541,7 @@ func executeTrial[T any](ctx context.Context, task Task[T], opts Options[T], i i
 		var zero T
 		return zero, SourceExecuted, err
 	case isLeader:
-		return leaderV, SourceExecuted, nil
+		return leaderV, leaderSrc, nil
 	case shared:
 		v, err := opts.Codec.Decode(data)
 		if err != nil {
@@ -515,6 +558,45 @@ func executeTrial[T any](ctx context.Context, task Task[T], opts Options[T], i i
 		v, err := task(ctx, i)
 		return v, SourceExecuted, err
 	}
+}
+
+// executeRemote satisfies one trial through the remote seam without a
+// Flight.
+func executeRemote[T any](ctx context.Context, task Task[T], opts Options[T], i int, key string) (T, Source, error) {
+	v, src, _, err := remoteBytes(ctx, task, opts, i, key)
+	if err != nil {
+		var zero T
+		return zero, SourceExecuted, err
+	}
+	return v, src, nil
+}
+
+// remoteBytes calls Options.Remote for trial i and decodes the payload.
+// Undecodable bytes (a worker bug, not a determinism question) degrade to
+// local execution; remote errors — including cancellation — propagate,
+// because the remote layer owns its own retry and reassignment policy and
+// its errors are final.
+func remoteBytes[T any](ctx context.Context, task Task[T], opts Options[T], i int, key string) (T, Source, []byte, error) {
+	data, err := opts.Remote(ctx, i, key)
+	if err != nil {
+		var zero T
+		return zero, SourceExecuted, nil, err
+	}
+	v, err := opts.Codec.Decode(data)
+	if err == nil {
+		return v, SourceRemote, data, nil
+	}
+	v, err = task(ctx, i)
+	if err != nil {
+		var zero T
+		return zero, SourceExecuted, nil, err
+	}
+	data, err = opts.Codec.Encode(v)
+	if err != nil {
+		var zero T
+		return zero, SourceExecuted, nil, err
+	}
+	return v, SourceExecuted, data, nil
 }
 
 // runPool is the parallel path: a feeder hands ascending indices to
